@@ -1,0 +1,30 @@
+"""Figure 7 — edge overlap vs AEES for all four networks and four orderings.
+
+Companion of Figure 6 with the edge-overlap matching criterion; the paper
+observes that edge overlap is the better indicator of noisy clusters.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline import fig06_node_overlap_vs_aees, fig07_edge_overlap_vs_aees, format_table
+
+
+def test_fig07_edge_overlap_vs_aees(benchmark, once):
+    out = once(benchmark, fig07_edge_overlap_vs_aees)
+    points = out["points"]
+
+    print()
+    print(format_table(points[:40], columns=["dataset", "filter", "aees", "overlap"],
+                       title="Figure 7 (excerpt): edge overlap vs AEES"))
+
+    assert points
+    assert all(0.0 <= p["overlap"] <= 1.0 for p in points)
+
+    # Cross-check against Figure 6: edge overlap of a match can never exceed
+    # node overlap by construction wildly; on average edge overlap is the
+    # stricter measure because the filter removes edges but never nodes.
+    node_points = fig06_node_overlap_vs_aees()["points"]
+    mean_edge = sum(p["overlap"] for p in points) / len(points)
+    mean_node = sum(p["overlap"] for p in node_points) / len(node_points)
+    print(f"mean node overlap {mean_node:.3f} vs mean edge overlap {mean_edge:.3f}")
+    assert mean_edge <= mean_node + 0.05

@@ -1,0 +1,27 @@
+"""Figure 9 — filtering sharpens the function of a noisy cluster (case study).
+
+Paper claim: an original UNT cluster with mediocre enrichment (AEES 2.33)
+yields, after High-Degree chordal filtering, a cluster scoring 4.17 whose
+dominating annotation (apoptosis regulation) becomes visible once the
+spuriously attached genes are removed — an improvement of ~2 enrichment points
+with 66.7% node / 28% edge overlap to the original.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline import fig09_cluster_refinement, format_kv
+
+
+def test_fig09_cluster_refinement(benchmark, once):
+    out = once(benchmark, fig09_cluster_refinement)
+    best = out["best_improvement"]
+
+    print()
+    assert best is not None, "no matched cluster pair found"
+    print(format_kv(best, title="Figure 9: largest AEES improvement (original -> filtered cluster)"))
+
+    # the filter improves the enrichment of at least one matched cluster
+    assert best["aees_gain"] > 0.0
+    # the filtered counterpart must still overlap its original cluster
+    assert best["node_overlap"] > 0.0
+    assert best["dominant_term"] is not None

@@ -1,0 +1,39 @@
+"""Figure 11 — cluster consistency between the sequential (1P) and 64P runs.
+
+Paper claims (H0c): running the communication-free chordal filter on 64
+processors keeps fewer edges than the sequential run, but the clusters and
+their overlap with the original network are comparable, the high-AEES clusters
+are maintained, and both runs identify the same new cluster.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline import fig11_parallel_consistency, format_table
+
+
+def test_fig11_parallel_consistency(benchmark, once):
+    out = once(benchmark, fig11_parallel_consistency)
+
+    print()
+    for network, rows in out["top_clusters"].items():
+        print(format_table(
+            rows,
+            columns=["network", "cluster", "size", "aees", "max_score"],
+            title=f"Figure 11 (right): clusters with AEES > 3.0 — {network}",
+        ))
+        print()
+    for p, points in out["overlap_points"].items():
+        kept = [pt for pt in points if not pt["is_new"]]
+        print(f"{p}P: {len(kept)} clusters overlap the original network, "
+              f"{len(points) - len(kept)} newly found")
+
+    processor_counts = sorted(out["overlap_points"])
+    low, high = processor_counts[0], processor_counts[-1]
+    # more processors -> fewer edges kept
+    assert out[f"edges_kept_{high}P"] <= out[f"edges_kept_{low}P"]
+    # the high-AEES clusters are not lost by parallelisation
+    if out["top_clusters"][f"{low}P"]:
+        assert out["top_clusters"][f"{high}P"]
+    # both runs still find clusters overlapping the original network
+    for p in processor_counts:
+        assert any(not pt["is_new"] for pt in out["overlap_points"][p])

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Creatine study (GSE5140-style): UNT vs CRE, cluster refinement and new clusters.
+
+The paper's second dataset pair covers the whole transcriptome of untreated
+(UNT) and creatine-supplemented (CRE) middle-aged mice.  Its headline
+qualitative results on these networks are:
+
+* filtered clusters overlap the original clusters strongly, some with 100%
+  node and edge overlap (Figure 5),
+* filtering *uncovers* clusters that were hidden by noise in the original
+  network ("found" clusters),
+* filtering can sharpen a cluster's function: the paper's Figure 9 shows an
+  original cluster whose AEES improves by ~2 points after High-Degree chordal
+  filtering, revealing an apoptosis-regulation module.
+
+This example reproduces those analyses on the synthetic UNT/CRE studies.
+
+Run:  python examples/creatine_study.py
+"""
+
+from __future__ import annotations
+
+from repro.pipeline import analyze_filter, format_table, prepare_dataset
+
+SCALE = 0.06
+
+
+def main() -> None:
+    for name in ("UNT", "CRE"):
+        bundle = prepare_dataset(name, scale=SCALE)
+        print(f"=== {name}: {bundle.n_vertices} vertices, {bundle.n_edges} edges, "
+              f"{len(bundle.original_clusters)} original MCODE clusters ===")
+
+        analysis = analyze_filter(bundle, method="chordal", ordering="high_degree", n_partitions=8)
+
+        # overlap of filtered clusters with the original clusters (Figure 5 style)
+        overlap_rows = [
+            {
+                "filtered_cluster": m.filtered.cluster_id,
+                "original_cluster": "-" if m.original is None else m.original.cluster_id,
+                "node_overlap": m.node_overlap,
+                "edge_overlap": m.edge_overlap,
+                "aees": bundle.scorer.cluster(m.filtered.subgraph).aees,
+            }
+            for m in analysis.matches[:12]
+        ]
+        print(format_table(overlap_rows, title="Filtered clusters vs original clusters (excerpt)"))
+        print(f"newly found clusters: {len(analysis.found)}   lost clusters: {len(analysis.lost)}")
+        print()
+
+        # Figure 9-style case study: the match whose enrichment improves the most
+        best_gain, best_row = None, None
+        for m in analysis.matches:
+            if m.original is None:
+                continue
+            filtered_aees = bundle.scorer.cluster(m.filtered.subgraph).aees
+            original_aees = bundle.scorer.cluster(m.original.subgraph).aees
+            gain = filtered_aees - original_aees
+            if best_gain is None or gain > best_gain:
+                best_gain = gain
+                best_row = {
+                    "original_cluster": m.original.cluster_id,
+                    "original_aees": original_aees,
+                    "filtered_cluster": m.filtered.cluster_id,
+                    "filtered_aees": filtered_aees,
+                    "gain": gain,
+                    "node_overlap": m.node_overlap,
+                    "edge_overlap": m.edge_overlap,
+                    "dominant_term": bundle.scorer.cluster(m.filtered.subgraph).dominant_term(),
+                }
+        if best_row:
+            print(format_table([best_row], title="Largest enrichment improvement (Figure 9 analogue)"))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Scalability study (Figure 10 analogue): three samplers, 1–64 simulated processors.
+
+Compares the execution behaviour of
+
+* the chordal sampler **with** border-edge communication (the authors' earlier
+  algorithm),
+* the communication-free chordal sampler (the paper's contribution), and
+* the random-walk control filter
+
+on a small (YNG-like) and a large (CRE-like) network.  Per-rank work is
+measured exactly by running the algorithms; wall-clock times are produced by
+the distributed-memory cost model (see ``repro.parallel.timing``), which is
+how the repository reproduces the *shape* of the paper's Figure 10 without an
+MPI cluster.  Speedups and efficiencies are derived from the same series.
+
+Run:  python examples/scalability_study.py
+"""
+
+from __future__ import annotations
+
+from repro.parallel import efficiency, speedup
+from repro.pipeline import fig10_scalability, format_series
+
+PROCESSORS = (1, 2, 4, 8, 16, 32, 64)
+SCALE = 0.08
+
+
+def main() -> None:
+    out = fig10_scalability(scale=SCALE, processor_counts=PROCESSORS)
+
+    for label in ("small", "large"):
+        meta = out["meta"][label]
+        series = out["series"][label]
+        print(format_series(
+            series,
+            x_label="processors",
+            title=(f"{meta['dataset']} ({label} network, |V|={meta['n_vertices']}, "
+                   f"|E|={meta['n_edges']}): simulated time [s]"),
+        ))
+        print()
+        print(format_series(
+            {name: speedup(values) for name, values in series.items()},
+            x_label="processors",
+            title=f"{meta['dataset']}: speedup over 1 processor",
+        ))
+        print()
+        print(format_series(
+            {name: efficiency(values) for name, values in series.items()},
+            x_label="processors",
+            title=f"{meta['dataset']}: parallel efficiency",
+        ))
+        print()
+
+    print("Expected shape (paper, Figure 10): the random walk is fastest and perfectly")
+    print("scalable; the communication-free chordal sampler scales almost as well; the")
+    print("with-communication variant costs roughly twice as much on the large network at")
+    print("low processor counts and loses scalability on the small network as P grows.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` keeps working on environments whose packaging toolchain
+(setuptools < 64 + missing ``wheel``) cannot perform PEP 660 editable installs
+and falls back to the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,203 @@
+"""Command-line interface.
+
+A small CLI so the pipeline can be driven without writing Python:
+
+``python -m repro filter``
+    generate (or load) a correlation network, apply a sampling filter and
+    report / save the result;
+``python -m repro analyze``
+    run the full downstream analysis (MCODE + enrichment + overlap) for one
+    dataset and filter configuration;
+``python -m repro figure``
+    regenerate one of the paper's figures and print its rows/series;
+``python -m repro datasets``
+    list the built-in synthetic datasets and their scaled sizes.
+
+Every command accepts ``--scale`` (default: the benchmark scale, see
+``REPRO_SCALE``) and prints plain-text tables via :mod:`repro.pipeline.report`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .core.sampling import apply_filter, filter_names
+from .expression.datasets import DATASET_CONFIGS, dataset_names, make_study
+from .graph.io import write_edge_list
+from .graph.ordering import ordering_names
+from .pipeline import experiments as exp
+from .pipeline.report import format_kv, format_table
+from .pipeline.workflow import analyze_filter, prepare_dataset
+
+__all__ = ["build_parser", "main"]
+
+_FIGURES = {
+    "fig04": exp.fig04_aees_by_ordering,
+    "fig05": exp.fig05_overlap_scatter,
+    "fig06": exp.fig06_node_overlap_vs_aees,
+    "fig07": exp.fig07_edge_overlap_vs_aees,
+    "fig08": exp.fig08_sensitivity_specificity,
+    "fig09": exp.fig09_cluster_refinement,
+    "fig10": exp.fig10_scalability,
+    "fig11": exp.fig11_parallel_consistency,
+    "random-walk-control": exp.random_walk_control,
+    "border-edges": exp.border_edge_study,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel adaptive (chordal-subgraph) sampling for biological networks",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    datasets = sub.add_parser("datasets", help="list the built-in synthetic datasets")
+    datasets.add_argument("--scale", type=float, default=None, help="dataset scale (default: REPRO_SCALE or 0.1)")
+
+    filt = sub.add_parser("filter", help="apply a sampling filter to a dataset's correlation network")
+    filt.add_argument("--dataset", choices=dataset_names(), default="CRE")
+    filt.add_argument("--scale", type=float, default=None)
+    filt.add_argument("--method", choices=filter_names(), default="chordal")
+    filt.add_argument("--ordering", choices=ordering_names(), default="natural")
+    filt.add_argument("--partitions", type=int, default=1, help="number of simulated processors")
+    filt.add_argument("--partition-method", default="block", help="block / bfs / hash / greedy")
+    filt.add_argument("--seed", type=int, default=0, help="seed for the random-walk filter")
+    filt.add_argument("--output", default=None, help="write the filtered network as an edge list to this path")
+
+    analyze = sub.add_parser("analyze", help="full analysis: filter + MCODE + enrichment + overlap")
+    analyze.add_argument("--dataset", choices=dataset_names(), default="CRE")
+    analyze.add_argument("--scale", type=float, default=None)
+    analyze.add_argument("--method", choices=filter_names(), default="chordal")
+    analyze.add_argument("--ordering", choices=ordering_names(), default="natural")
+    analyze.add_argument("--partitions", type=int, default=1)
+    analyze.add_argument("--top", type=int, default=10, help="number of clusters to list")
+
+    figure = sub.add_parser("figure", help="regenerate one of the paper's figures")
+    figure.add_argument("name", choices=sorted(_FIGURES), help="figure / claim to regenerate")
+    figure.add_argument("--scale", type=float, default=None)
+
+    return parser
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    scale = args.scale if args.scale is not None else exp.default_scale()
+    rows = []
+    for name in dataset_names():
+        config = DATASET_CONFIGS[name].scaled(scale)
+        rows.append(
+            {
+                "dataset": name,
+                "genes": config.n_genes,
+                "samples": config.n_samples,
+                "modules": config.n_modules,
+                "noise_chains": config.n_noise_chains,
+                "noise_clumps": config.n_noise_clumps,
+                "biological_signal": config.biological_signal,
+            }
+        )
+    print(format_table(rows, title=f"Built-in synthetic datasets at scale {scale}"))
+    return 0
+
+
+def _cmd_filter(args: argparse.Namespace) -> int:
+    scale = args.scale if args.scale is not None else exp.default_scale()
+    study = make_study(args.dataset, scale=scale)
+    network = study.network()
+    result = apply_filter(
+        network,
+        method=args.method,
+        ordering=args.ordering if args.method != "random_walk" else None,
+        n_partitions=args.partitions,
+        partition_method=args.partition_method,
+        seed=args.seed,
+    )
+    print(format_kv(result.summary(), title=f"{args.dataset} @ scale {scale}: {args.method}"))
+    if args.output:
+        write_edge_list(result.graph, args.output)
+        print(f"filtered network written to {args.output}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    scale = args.scale if args.scale is not None else exp.default_scale()
+    bundle = prepare_dataset(args.dataset, scale=scale)
+    analysis = analyze_filter(
+        bundle,
+        method=args.method,
+        ordering=args.ordering if args.method != "random_walk" else None,
+        n_partitions=args.partitions,
+    )
+    print(format_kv(analysis.summary(), title=analysis.label))
+    rows = []
+    for cluster, aees in list(zip(analysis.clusters, analysis.cluster_aees()))[: args.top]:
+        rows.append(
+            {
+                "cluster": cluster.cluster_id,
+                "size": cluster.n_vertices,
+                "edges": cluster.n_edges,
+                "mcode_score": cluster.score,
+                "aees": aees,
+            }
+        )
+    print()
+    print(format_table(rows, title=f"top {len(rows)} clusters"))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    scale = args.scale if args.scale is not None else exp.default_scale()
+    driver = _FIGURES[args.name]
+    out = driver(scale=scale)
+    _print_figure(args.name, out)
+    return 0
+
+
+def _print_figure(name: str, out: dict) -> None:
+    """Render a figure driver's output as text tables (best effort per figure)."""
+    if "rows" in out:
+        print(format_table(out["rows"], title=name))
+        return
+    if name == "fig04":
+        print(format_table(out["rows"], title=name))
+    elif name == "fig05":
+        for dataset, data in out["datasets"].items():
+            print(format_table(data["overlap_points"][:30], title=f"{name} {dataset} (overlap, excerpt)"))
+            print(f"{dataset}: new clusters = {len(data['new_cluster_points'])}")
+    elif name in ("fig06", "fig07"):
+        print(format_table(out["points"][:40], title=f"{name} (excerpt)"))
+    elif name == "fig08":
+        print(format_kv(out["node_overlap"], title="node overlap"))
+        print(format_kv(out["edge_overlap"], title="edge overlap"))
+    elif name == "fig09":
+        print(format_kv(out["best_improvement"] or {}, title="largest AEES improvement"))
+    elif name == "fig10":
+        from .pipeline.report import format_series
+
+        for label in ("small", "large"):
+            print(format_series(out["series"][label], x_label="processors", title=f"{name} {label}"))
+    elif name == "fig11":
+        for network, rows in out["top_clusters"].items():
+            print(format_table(rows, title=f"{name}: {network} clusters with AEES > 3"))
+    else:  # pragma: no cover - defensive
+        print(out)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "datasets": _cmd_datasets,
+        "filter": _cmd_filter,
+        "analyze": _cmd_analyze,
+        "figure": _cmd_figure,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Clustering substrate: MCODE complex detection, overlap and quadrant evaluation."""
+
+from .cluster import Cluster
+from .evaluation import (
+    EvaluationThresholds,
+    Quadrant,
+    QuadrantCounts,
+    ScoredMatch,
+    classify_match,
+    classify_matches,
+    quadrant_counts,
+    sensitivity,
+    specificity,
+)
+from .mcode import MCODEParams, highest_k_core, k_core, mcode_clusters, mcode_vertex_weights
+from .overlap import (
+    ClusterMatch,
+    edge_overlap,
+    found_clusters,
+    jaccard_node_overlap,
+    lost_clusters,
+    match_clusters,
+    node_overlap,
+)
+
+__all__ = [
+    "Cluster",
+    "MCODEParams",
+    "mcode_clusters",
+    "mcode_vertex_weights",
+    "k_core",
+    "highest_k_core",
+    "node_overlap",
+    "edge_overlap",
+    "jaccard_node_overlap",
+    "ClusterMatch",
+    "match_clusters",
+    "found_clusters",
+    "lost_clusters",
+    "Quadrant",
+    "QuadrantCounts",
+    "ScoredMatch",
+    "EvaluationThresholds",
+    "classify_match",
+    "classify_matches",
+    "quadrant_counts",
+    "sensitivity",
+    "specificity",
+]

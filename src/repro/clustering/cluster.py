@@ -1,0 +1,73 @@
+"""Cluster container shared by the clustering and evaluation code."""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..graph.graph import Graph, edge_key
+
+__all__ = ["Cluster"]
+
+Vertex = Hashable
+Edge = tuple[Vertex, Vertex]
+
+
+@dataclass
+class Cluster:
+    """A candidate gene complex found by a clustering algorithm.
+
+    Attributes
+    ----------
+    cluster_id:
+        Index assigned by the clustering run (0 = highest scoring).
+    members:
+        The cluster's vertices, seed first.
+    subgraph:
+        The induced subgraph of the clustered network.
+    score:
+        The MCODE score (density × size); the paper keeps clusters ≥ 3.0.
+    seed:
+        The seed vertex the complex was grown from.
+    source:
+        Free-form provenance label (e.g. ``"CRE/chordal/high_degree/64P"``).
+    """
+
+    cluster_id: int
+    members: list[Vertex]
+    subgraph: Graph
+    score: float
+    seed: Optional[Vertex] = None
+    source: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def n_vertices(self) -> int:
+        return len(self.members)
+
+    @property
+    def n_edges(self) -> int:
+        return self.subgraph.n_edges
+
+    @property
+    def density(self) -> float:
+        return self.subgraph.density()
+
+    def node_set(self) -> set[Vertex]:
+        return set(self.members)
+
+    def edge_set(self) -> set[Edge]:
+        return {edge_key(u, v) for u, v in self.subgraph.iter_edges()}
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self.node_set()
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Cluster(id={self.cluster_id}, n_vertices={self.n_vertices}, "
+            f"n_edges={self.n_edges}, score={self.score:.2f}, source={self.source!r})"
+        )

@@ -1,0 +1,129 @@
+"""Cluster overlap: matching filtered clusters against original-network clusters.
+
+The paper compares every cluster of a filtered network with every cluster of
+the original network using two measures:
+
+* **node overlap** — the fraction of the original cluster's genes present in
+  the filtered cluster;
+* **edge overlap** — the fraction of the original cluster's edges present in
+  the filtered cluster.
+
+Clusters of the filtered network that share nothing with any original cluster
+are *found* (newly uncovered structure); original clusters that share nothing
+with any filtered cluster are *lost*.  Those categories, together with the
+overlap values and the enrichment score, drive the TP/FP/FN/TN quadrant
+analysis in :mod:`repro.clustering.evaluation`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .cluster import Cluster
+
+__all__ = [
+    "node_overlap",
+    "edge_overlap",
+    "jaccard_node_overlap",
+    "ClusterMatch",
+    "match_clusters",
+    "lost_clusters",
+    "found_clusters",
+]
+
+Vertex = Hashable
+
+
+def node_overlap(original: Cluster, candidate: Cluster) -> float:
+    """Fraction of the original cluster's nodes present in the candidate cluster."""
+    orig = original.node_set()
+    if not orig:
+        return 0.0
+    return len(orig & candidate.node_set()) / len(orig)
+
+
+def edge_overlap(original: Cluster, candidate: Cluster) -> float:
+    """Fraction of the original cluster's edges present in the candidate cluster."""
+    orig = original.edge_set()
+    if not orig:
+        return 0.0
+    return len(orig & candidate.edge_set()) / len(orig)
+
+
+def jaccard_node_overlap(a: Cluster, b: Cluster) -> float:
+    """Jaccard index of the two clusters' node sets (symmetric alternative)."""
+    na, nb = a.node_set(), b.node_set()
+    union = na | nb
+    if not union:
+        return 0.0
+    return len(na & nb) / len(union)
+
+
+@dataclass
+class ClusterMatch:
+    """The best original-network counterpart of one filtered cluster."""
+
+    filtered: Cluster
+    original: Optional[Cluster]
+    node_overlap: float
+    edge_overlap: float
+
+    @property
+    def is_found(self) -> bool:
+        """True when the filtered cluster has no counterpart at all (newly found)."""
+        return self.original is None or (self.node_overlap == 0.0 and self.edge_overlap == 0.0)
+
+
+def match_clusters(
+    original_clusters: Sequence[Cluster],
+    filtered_clusters: Sequence[Cluster],
+    key: Callable[[Cluster, Cluster], float] = node_overlap,
+) -> list[ClusterMatch]:
+    """Match every filtered cluster to its best-overlapping original cluster.
+
+    ``key(original, filtered)`` determines "best" (node overlap by default);
+    both node and edge overlap of the chosen pairing are reported.  Filtered
+    clusters with zero overlap against every original cluster are matched to
+    ``None`` — the paper's *found* clusters.
+    """
+    matches: list[ClusterMatch] = []
+    for fc in filtered_clusters:
+        best: Optional[Cluster] = None
+        best_key = 0.0
+        for oc in original_clusters:
+            k = key(oc, fc)
+            if k > best_key:
+                best_key = k
+                best = oc
+        if best is None:
+            matches.append(ClusterMatch(filtered=fc, original=None, node_overlap=0.0, edge_overlap=0.0))
+        else:
+            matches.append(
+                ClusterMatch(
+                    filtered=fc,
+                    original=best,
+                    node_overlap=node_overlap(best, fc),
+                    edge_overlap=edge_overlap(best, fc),
+                )
+            )
+    return matches
+
+
+def found_clusters(matches: Sequence[ClusterMatch]) -> list[Cluster]:
+    """Filtered clusters with no original counterpart (structure uncovered by filtering)."""
+    return [m.filtered for m in matches if m.is_found]
+
+
+def lost_clusters(
+    original_clusters: Sequence[Cluster],
+    filtered_clusters: Sequence[Cluster],
+    key: Callable[[Cluster, Cluster], float] = node_overlap,
+) -> list[Cluster]:
+    """Original clusters that share nothing with any filtered cluster (lost to filtering)."""
+    lost: list[Cluster] = []
+    for oc in original_clusters:
+        if all(key(oc, fc) == 0.0 for fc in filtered_clusters):
+            lost.append(oc)
+    return lost

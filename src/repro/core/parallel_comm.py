@@ -1,0 +1,218 @@
+"""Parallel chordal sampling *with* border-edge communication (baseline).
+
+This is the authors' earlier algorithm (HPCS'11 / ICCS'11, summarised in
+Section III.A of the paper), reimplemented here as the comparison baseline for
+the scalability study:
+
+1. Partition the network into ``P`` parts; each rank extracts the maximal
+   chordal subgraph of its internal edges.
+2. For every pair of ranks that share border edges, one rank is designated the
+   **sender** and the other the **receiver** of those mutual border edges
+   (by convention the lower rank sends to the higher rank).
+3. The receiver decides which of the received border edges can be *retained
+   while maintaining the chordality of its own subgraph*; it inserts the
+   accepted edges into its local view and reports them in the merged result.
+   The sender never learns which edges were accepted — which is exactly why a
+   few long cycles can appear on the sender's side ("quasi-chordal
+   subgraphs").
+
+The communication volume per processor grows with the number of border edges
+``b`` and the receiver-side admission work is O(b²/d), which is the term that
+makes this variant lose scalability on small graphs with many processors
+(paper Figure 10, YNG at 32+ processors).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Hashable, Sequence
+from typing import Optional
+
+from ..graph.graph import Graph, edge_key
+from ..graph.ordering import get_ordering
+from ..graph.partition import Partition, partition_graph
+from ..parallel.comm import SimComm
+from ..parallel.runner import run_spmd
+from ..parallel.timing import RankWork
+from .chordal import chordal_subgraph_edges, edge_insertion_preserves_chordality
+from .results import FilterResult
+
+__all__ = ["parallel_chordal_comm_filter", "receiver_admit_border_edges"]
+
+Vertex = Hashable
+Edge = tuple[Vertex, Vertex]
+
+_BORDER_TAG = 7
+
+
+def receiver_admit_border_edges(
+    local_graph: Graph, candidate_edges: Sequence[Edge]
+) -> tuple[list[Edge], int]:
+    """Admit candidate border edges one at a time while keeping ``local_graph`` chordal.
+
+    ``local_graph`` is mutated: every accepted edge (and any previously unseen
+    endpoint) is inserted so later candidates are checked against the updated
+    subgraph.  Returns the accepted edges and the number of chordality checks
+    performed (for the cost model).
+    """
+    accepted: list[Edge] = []
+    checks = 0
+    for u, v in candidate_edges:
+        checks += 1
+        if local_graph.has_edge(u, v):
+            continue
+        if edge_insertion_preserves_chordality(local_graph, u, v):
+            local_graph.add_edge(u, v)
+            accepted.append(edge_key(u, v))
+    return accepted, checks
+
+
+def _rank_function(
+    comm: SimComm,
+    part_graph: Graph,
+    part_vertices: list[Vertex],
+    border_by_peer: dict[int, list[Edge]],
+    order: Optional[list[Vertex]],
+    strict_order: bool,
+) -> dict:
+    """SPMD body executed by every rank of the with-communication sampler."""
+    members = set(part_vertices)
+    local_order = None
+    if order is not None:
+        local_order = [v for v in order if v in members]
+    local_edges = chordal_subgraph_edges(part_graph, order=local_order, strict_order=strict_order)
+
+    work = RankWork(
+        edges_examined=part_graph.n_edges,
+        chordality_checks=sum(part_graph.degree(v) for v in part_graph.vertices()),
+        border_edges=sum(len(v) for v in border_by_peer.values()),
+        messages=0,
+        items_sent=0,
+        max_degree=max(part_graph.max_degree(), 1),
+    )
+
+    # Build a mutable view of this rank's accepted subgraph for admission tests.
+    local_view = Graph(edges=local_edges, vertices=part_vertices)
+
+    accepted_border: list[Edge] = []
+    # Deterministic peer traversal: lower rank sends, higher rank receives.
+    peers = sorted(border_by_peer)
+    for peer in peers:
+        mutual = sorted(border_by_peer[peer], key=repr)
+        if not mutual:
+            # Still participate in the exchange so message counts stay symmetric.
+            pass
+        if comm.rank < peer:
+            comm.send(mutual, dest=peer, tag=_BORDER_TAG)
+            work.messages += 1
+            work.items_sent += len(mutual)
+        else:
+            received = comm.recv(source=peer, tag=_BORDER_TAG)
+            admitted, checks = receiver_admit_border_edges(local_view, received)
+            work.chordality_checks += checks
+            accepted_border.extend(admitted)
+
+    return {
+        "local_edges": local_edges,
+        "accepted_border": accepted_border,
+        "work": work,
+    }
+
+
+def parallel_chordal_comm_filter(
+    graph: Graph,
+    n_partitions: int,
+    ordering: Optional[str] = "natural",
+    explicit_order: Optional[Sequence[Vertex]] = None,
+    partition_method: str = "block",
+    partition: Optional[Partition] = None,
+    strict_order: bool = False,
+) -> FilterResult:
+    """Run the with-communication parallel chordal filter (the older baseline).
+
+    Parameters mirror
+    :func:`repro.core.parallel_nocomm.parallel_chordal_nocomm_filter`; the
+    execution always uses the threaded SPMD backend because ranks exchange
+    messages.
+    """
+    if n_partitions < 1:
+        raise ValueError(f"n_partitions must be >= 1, got {n_partitions}")
+    start = time.perf_counter()
+    order: Optional[list[Vertex]]
+    if explicit_order is not None:
+        order = list(explicit_order)
+        ordering_name = ordering or "explicit"
+    elif ordering is not None:
+        order = get_ordering(ordering)(graph)
+        ordering_name = ordering
+    else:
+        order = None
+        ordering_name = None
+
+    if partition is None:
+        if partition_method == "block" and order is not None:
+            partition = partition_graph(graph, n_partitions, method="block", order=order)
+        else:
+            partition = partition_graph(graph, n_partitions, method=partition_method)
+
+    # border edges grouped by (owning rank -> peer rank)
+    border_by_rank_peer: list[dict[int, list[Edge]]] = [dict() for _ in range(partition.n_parts)]
+    for u, v in partition.border_edges:
+        pu, pv = partition.part_of(u), partition.part_of(v)
+        border_by_rank_peer[pu].setdefault(pv, []).append(edge_key(u, v))
+        border_by_rank_peer[pv].setdefault(pu, []).append(edge_key(u, v))
+
+    rank_args = []
+    for rank in range(partition.n_parts):
+        rank_args.append(
+            (
+                partition.part_subgraph(rank),
+                partition.parts[rank],
+                border_by_rank_peer[rank],
+                order,
+                strict_order,
+            )
+        )
+
+    backend = "thread" if partition.n_parts > 1 else "serial"
+    report = run_spmd(_rank_function, partition.n_parts, rank_args=rank_args, backend=backend)
+
+    all_local: list[Edge] = []
+    accepted_border: list[Edge] = []
+    seen_border: set[Edge] = set()
+    duplicates = 0
+    works: list[RankWork] = []
+    for rank_out, stats in zip(report.values, (r.stats for r in report.results)):
+        all_local.extend(rank_out["local_edges"])
+        works.append(rank_out["work"])
+        for e in rank_out["accepted_border"]:
+            if e in seen_border:
+                duplicates += 1
+            else:
+                seen_border.add(e)
+                accepted_border.append(e)
+
+    kept_edges = list(dict.fromkeys(all_local + accepted_border))
+    filtered = graph.spanning_subgraph(kept_edges)
+    wall = time.perf_counter() - start
+
+    result = FilterResult(
+        graph=filtered,
+        original=graph,
+        method="chordal_comm",
+        ordering=ordering_name,
+        n_partitions=partition.n_parts,
+        partition_method=partition_method,
+        border_edges=list(partition.border_edges),
+        accepted_border_edges=accepted_border,
+        duplicate_border_edges=duplicates,
+        rank_work=works,
+        wall_time=wall,
+        extra={
+            "strict_order": strict_order,
+            "comm_stats": report.total_stats(),
+            "backend": backend,
+        },
+    )
+    result.compute_simulated_time(with_communication=True)
+    return result

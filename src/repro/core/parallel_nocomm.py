@@ -1,0 +1,301 @@
+"""Communication-free parallel maximal chordal subgraph sampling.
+
+This is the paper's improved algorithm (Section III.A, Figure 1):
+
+1. **Partition** the network into ``P`` parts.
+2. **Local phase** — every rank extracts the maximal chordal subgraph of the
+   edges whose endpoints both lie inside its partition (the *chordal edges*)
+   using the Dearing–Shier–Warner construction; edges crossing partitions are
+   set aside as *border edges*.
+3. **Border phase (no communication)** — instead of exchanging border edges,
+   each rank simply compares them against its own chordal edges: a *pair* of
+   border edges sharing an external endpoint is admitted when the third edge
+   closing the triangle is one of the rank's local chordal edges.  In the
+   paper's Figure 1, edges (4,6) and (4,8) are admitted by the bottom
+   partition because (6,8) is a chordal edge there, whereas (2,6) and (4,6)
+   are rejected by the top partition because (2,4) is not.
+
+Because two ranks can admit the same border edge independently, duplicates
+may appear; they are removed during the (sequential) merge, and their count is
+reported — the paper bounds it by ``b``, the number of border edges.  Border
+edges can also close a few long cycles across partitions, producing a
+*quasi-chordal subgraph* (QCS); an optional repair pass deletes border edges
+until no fundamental cycle longer than a triangle survives among them.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Hashable, Sequence
+from typing import Optional
+
+from ..graph.cycles import cycle_basis_sizes
+from ..graph.graph import Graph, edge_key
+from ..graph.ordering import get_ordering
+from ..graph.partition import Partition, partition_graph
+from ..parallel.runner import parallel_map
+from ..parallel.timing import RankWork
+from .chordal import chordal_subgraph_edges
+from .results import FilterResult
+
+__all__ = [
+    "parallel_chordal_nocomm_filter",
+    "local_chordal_phase",
+    "admit_border_edges_no_communication",
+]
+
+Vertex = Hashable
+Edge = tuple[Vertex, Vertex]
+
+
+def local_chordal_phase(
+    part_graph: Graph,
+    order: Optional[Sequence[Vertex]] = None,
+    strict_order: bool = False,
+) -> tuple[list[Edge], RankWork]:
+    """Run the local (per-partition) chordal extraction and return (edges, work).
+
+    ``order`` is the global vertex ordering restricted to this partition; the
+    work counters feed the scalability cost model.
+    """
+    local_order = None
+    if order is not None:
+        members = set(part_graph.vertices())
+        local_order = [v for v in order if v in members]
+    edges = chordal_subgraph_edges(part_graph, order=local_order, strict_order=strict_order)
+    work = RankWork(
+        edges_examined=part_graph.n_edges,
+        chordality_checks=sum(part_graph.degree(v) for v in part_graph.vertices()),
+        border_edges=0,
+        messages=0,
+        items_sent=0,
+        max_degree=max(part_graph.max_degree(), 1),
+    )
+    return edges, work
+
+
+def admit_border_edges_no_communication(
+    rank_border_edges: Sequence[Edge],
+    part_vertices: set[Vertex],
+    local_chordal_edges: set[Edge],
+) -> list[Edge]:
+    """Apply the triangle rule to one rank's border edges.
+
+    ``rank_border_edges`` are the border edges with at least one endpoint in
+    this rank's partition.  For every *external* vertex ``x`` the rank looks at
+    the border edges ``(x, b)`` with ``b`` inside the partition; a pair
+    ``(x, b1)``, ``(x, b2)`` is admitted when ``(b1, b2)`` is one of the rank's
+    local chordal edges.  Only local information is consulted — hence no
+    communication.
+    """
+    # external endpoint -> internal endpoints reachable over border edges
+    by_external: dict[Vertex, list[Vertex]] = {}
+    for u, v in rank_border_edges:
+        if u in part_vertices and v not in part_vertices:
+            by_external.setdefault(v, []).append(u)
+        elif v in part_vertices and u not in part_vertices:
+            by_external.setdefault(u, []).append(v)
+        # edges with both endpoints outside the partition are not this rank's business
+    admitted: set[Edge] = set()
+    for external, internals in by_external.items():
+        n = len(internals)
+        if n < 2:
+            continue
+        for i in range(n):
+            for j in range(i + 1, n):
+                a, b = internals[i], internals[j]
+                if edge_key(a, b) in local_chordal_edges:
+                    admitted.add(edge_key(external, a))
+                    admitted.add(edge_key(external, b))
+    return sorted(admitted, key=repr)
+
+
+def _rank_task(
+    part_graph: Graph,
+    part_vertices: list[Vertex],
+    rank_border_edges: list[Edge],
+    order: Optional[list[Vertex]],
+    strict_order: bool,
+) -> tuple[list[Edge], list[Edge], RankWork]:
+    """The full per-rank computation (local phase + border admission)."""
+    local_edges, work = local_chordal_phase(part_graph, order=order, strict_order=strict_order)
+    part_set = set(part_vertices)
+    admitted = admit_border_edges_no_communication(rank_border_edges, part_set, set(local_edges))
+    work.border_edges = len(rank_border_edges)
+    # Admission examines each (external, internal-pair) combination; count the
+    # pairwise comparisons as extra examined edges for the cost model.
+    work.edges_examined += len(rank_border_edges)
+    return local_edges, admitted, work
+
+
+def parallel_chordal_nocomm_filter(
+    graph: Graph,
+    n_partitions: int,
+    ordering: Optional[str] = "natural",
+    explicit_order: Optional[Sequence[Vertex]] = None,
+    partition_method: str = "block",
+    partition: Optional[Partition] = None,
+    strict_order: bool = False,
+    repair_cycles: bool = False,
+    backend: str = "serial",
+    processes: Optional[int] = None,
+) -> FilterResult:
+    """Run the communication-free parallel chordal filter.
+
+    Parameters
+    ----------
+    graph:
+        The network to sample.
+    n_partitions:
+        Number of simulated processors ``P``.
+    ordering / explicit_order:
+        Vertex ordering used both to lay out the block partition and to drive
+        every rank's local Dearing–Shier–Warner traversal.
+    partition_method:
+        Partitioner name (``block``, ``hash``, ``bfs``, ``greedy``); ignored
+        when an explicit ``partition`` is supplied.
+    repair_cycles:
+        Run the optional cycle-repair pass on the border-edge-induced subgraph
+        (deletes admitted border edges until no fundamental cycle among them
+        survives), as discussed in Section III.A.
+    backend:
+        ``"serial"`` (default) or ``"process"`` — the ranks are independent, so
+        they can run through :func:`repro.parallel.parallel_map` on real
+        processes when available.
+    """
+    if n_partitions < 1:
+        raise ValueError(f"n_partitions must be >= 1, got {n_partitions}")
+    start = time.perf_counter()
+    order: Optional[list[Vertex]]
+    if explicit_order is not None:
+        order = list(explicit_order)
+        ordering_name = ordering or "explicit"
+    elif ordering is not None:
+        order = get_ordering(ordering)(graph)
+        ordering_name = ordering
+    else:
+        order = None
+        ordering_name = None
+
+    if partition is None:
+        if partition_method == "block" and order is not None:
+            partition = partition_graph(graph, n_partitions, method="block", order=order)
+        else:
+            partition = partition_graph(graph, n_partitions, method=partition_method)
+
+    items = []
+    for rank in range(partition.n_parts):
+        part_graph = partition.part_subgraph(rank)
+        items.append(
+            (
+                part_graph,
+                partition.parts[rank],
+                partition.border_edges_of(rank),
+                order,
+                strict_order,
+            )
+        )
+    rank_outputs = parallel_map(_rank_task, items, backend=backend, processes=processes)
+
+    all_local: list[Edge] = []
+    admitted_by_rank: list[list[Edge]] = []
+    works: list[RankWork] = []
+    for local_edges, admitted, work in rank_outputs:
+        all_local.extend(local_edges)
+        admitted_by_rank.append(admitted)
+        works.append(work)
+
+    # Sequential merge: union of local chordal edges plus admitted border
+    # edges; border edges admitted by both owning ranks are duplicates.
+    seen_border: set[Edge] = set()
+    duplicates = 0
+    accepted_border: list[Edge] = []
+    for admitted in admitted_by_rank:
+        for e in admitted:
+            if e in seen_border:
+                duplicates += 1
+            else:
+                seen_border.add(e)
+                accepted_border.append(e)
+
+    removed_for_cycles: list[Edge] = []
+    if repair_cycles and accepted_border:
+        accepted_border, removed_for_cycles = _repair_border_cycles(
+            all_local, accepted_border
+        )
+
+    kept_edges = list(dict.fromkeys(all_local + accepted_border))
+    filtered = graph.spanning_subgraph(kept_edges)
+    wall = time.perf_counter() - start
+
+    border_subgraph = Graph(edges=accepted_border) if accepted_border else Graph()
+    result = FilterResult(
+        graph=filtered,
+        original=graph,
+        method="chordal_nocomm",
+        ordering=ordering_name,
+        n_partitions=partition.n_parts,
+        partition_method=partition_method if partition is not None else None,
+        border_edges=list(partition.border_edges),
+        accepted_border_edges=accepted_border,
+        duplicate_border_edges=duplicates,
+        rank_work=works,
+        wall_time=wall,
+        extra={
+            "strict_order": strict_order,
+            "repair_cycles": repair_cycles,
+            "cycles_removed_edges": removed_for_cycles,
+            "border_cycle_sizes": cycle_basis_sizes(border_subgraph),
+            "backend": backend,
+        },
+    )
+    result.compute_simulated_time(with_communication=False)
+    return result
+
+
+def _repair_border_cycles(
+    local_edges: Sequence[Edge], accepted_border: Sequence[Edge]
+) -> tuple[list[Edge], list[Edge]]:
+    """Delete admitted border edges that close cycles longer than a triangle.
+
+    The repair follows the paper's sketch: copy the subgraph induced by the
+    border edges (plus the local chordal edges among their endpoints, which
+    are protected) to one processor and delete border edges until every
+    fundamental cycle in that subgraph is a triangle.
+    """
+    endpoints: set[Vertex] = set()
+    for u, v in accepted_border:
+        endpoints.add(u)
+        endpoints.add(v)
+    protected = [e for e in local_edges if e[0] in endpoints and e[1] in endpoints]
+    check_graph = Graph(edges=list(accepted_border) + protected)
+    removed: list[Edge] = []
+    border_set = set(accepted_border)
+    while True:
+        sizes = cycle_basis_sizes(check_graph)
+        if not sizes or max(sizes) <= 3:
+            break
+        target = _find_long_cycle_border_edge(check_graph, border_set)
+        if target is None:
+            break
+        check_graph.remove_edge(*target)
+        border_set.discard(target)
+        removed.append(target)
+    kept = [e for e in accepted_border if e not in set(removed)]
+    return kept, removed
+
+
+def _find_long_cycle_border_edge(graph: Graph, border_set: set[Edge]) -> Optional[Edge]:
+    """Return a border edge participating in some cycle longer than a triangle."""
+    from ..graph.cycles import find_chordless_cycle
+
+    cycle = find_chordless_cycle(graph, min_length=4)
+    if cycle is None:
+        return None
+    n = len(cycle)
+    for i in range(n):
+        e = edge_key(cycle[i], cycle[(i + 1) % n])
+        if e in border_set:
+            return e
+    # The long cycle consists only of protected local edges; nothing to repair.
+    return None

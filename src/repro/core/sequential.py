@@ -1,0 +1,149 @@
+"""Sequential (single-processor) sampling filters.
+
+These are the reference implementations the parallel algorithms are compared
+against: the sequential maximal chordal subgraph filter (the "1P" runs of the
+paper's Figure 11) and a sequential random walk.  Both return
+:class:`~repro.core.results.FilterResult` objects with single-rank work
+counters so they slot into the same cost model as the parallel runs.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Hashable, Sequence
+from typing import Optional
+
+import numpy as np
+
+from ..graph.graph import Graph, edge_key
+from ..graph.ordering import get_ordering
+from ..parallel.timing import RankWork
+from .chordal import chordal_subgraph_edges
+from .results import FilterResult
+
+__all__ = ["sequential_chordal_filter", "sequential_random_walk_filter", "resolve_order"]
+
+Vertex = Hashable
+
+
+def resolve_order(
+    graph: Graph, ordering: Optional[str], explicit_order: Optional[Sequence[Vertex]] = None
+) -> tuple[Optional[list[Vertex]], Optional[str]]:
+    """Resolve an ordering name / explicit permutation into a vertex list.
+
+    Returns ``(order, name)``; both are ``None`` when neither was requested
+    (callers then fall back to the graph's natural order implicitly).
+    """
+    if explicit_order is not None:
+        order = list(explicit_order)
+        if set(order) != set(graph.vertices()) or len(order) != graph.n_vertices:
+            raise ValueError("explicit order must be a permutation of the graph's vertex set")
+        return order, ordering or "explicit"
+    if ordering is None:
+        return None, None
+    fn = get_ordering(ordering)
+    return fn(graph), ordering
+
+
+def sequential_chordal_filter(
+    graph: Graph,
+    ordering: Optional[str] = "natural",
+    explicit_order: Optional[Sequence[Vertex]] = None,
+    strict_order: bool = False,
+) -> FilterResult:
+    """Extract the maximal chordal subgraph of ``graph`` on a single processor.
+
+    Parameters
+    ----------
+    ordering:
+        Name of the vertex ordering (``natural``, ``high_degree``,
+        ``low_degree``, ``rcm``) that seeds the Dearing–Shier–Warner
+        traversal.  ``None`` uses the natural order.
+    explicit_order:
+        An explicit vertex permutation overriding ``ordering``.
+    strict_order:
+        Process vertices exactly in the given order instead of the greedy
+        maximum-|S| rule (see :func:`repro.core.chordal.chordal_subgraph_edges`).
+    """
+    start = time.perf_counter()
+    order, name = resolve_order(graph, ordering, explicit_order)
+    edges = chordal_subgraph_edges(graph, order=order, strict_order=strict_order)
+    filtered = graph.spanning_subgraph(edges)
+    wall = time.perf_counter() - start
+    work = RankWork(
+        edges_examined=graph.n_edges,
+        chordality_checks=sum(graph.degree(v) for v in graph.vertices()),
+        border_edges=0,
+        messages=0,
+        items_sent=0,
+        max_degree=graph.max_degree(),
+    )
+    result = FilterResult(
+        graph=filtered,
+        original=graph,
+        method="chordal_sequential",
+        ordering=name or "natural",
+        n_partitions=1,
+        rank_work=[work],
+        wall_time=wall,
+        extra={"strict_order": strict_order},
+    )
+    result.compute_simulated_time(with_communication=False)
+    return result
+
+
+def sequential_random_walk_filter(
+    graph: Graph,
+    seed: int = 0,
+    selection_fraction: float = 0.5,
+) -> FilterResult:
+    """Sample ``graph`` with the random-walk control filter on a single processor.
+
+    The walk follows the paper's description: from the current vertex one of
+    its ``d`` incident edges is chosen with probability ``1/d`` and marked as
+    selected; no visited list is kept, so vertices and edges may be selected
+    repeatedly.  The walk stops once the number of *selections* (with
+    repetition) reaches ``selection_fraction`` × |E|.  Walks restart from a
+    uniformly random vertex whenever the current vertex is isolated.
+    """
+    if not 0.0 < selection_fraction <= 1.0:
+        raise ValueError("selection_fraction must lie in (0, 1]")
+    start = time.perf_counter()
+    rng = np.random.default_rng(seed)
+    vertices = graph.vertices()
+    kept: set[tuple[Vertex, Vertex]] = set()
+    selections = 0
+    target = int(selection_fraction * graph.n_edges)
+    if vertices and graph.n_edges:
+        current = vertices[int(rng.integers(0, len(vertices)))]
+        while selections < target:
+            nbrs = graph.neighbors(current)
+            if not nbrs:
+                current = vertices[int(rng.integers(0, len(vertices)))]
+                continue
+            nxt = nbrs[int(rng.integers(0, len(nbrs)))]
+            kept.add(edge_key(current, nxt))
+            selections += 1
+            current = nxt
+    filtered = graph.spanning_subgraph(kept)
+    wall = time.perf_counter() - start
+    work = RankWork(
+        edges_examined=selections,
+        chordality_checks=0,
+        border_edges=0,
+        messages=0,
+        items_sent=0,
+        max_degree=graph.max_degree(),
+    )
+    result = FilterResult(
+        graph=filtered,
+        original=graph,
+        method="random_walk_sequential",
+        ordering=None,
+        n_partitions=1,
+        rank_work=[work],
+        wall_time=wall,
+        extra={"seed": seed, "selection_fraction": selection_fraction, "selections": selections},
+    )
+    result.compute_simulated_time(with_communication=False)
+    return result

@@ -1,0 +1,54 @@
+"""Expression-data substrate: microarray matrices, correlation networks, datasets.
+
+The filters operate on gene correlation networks; this package builds those
+networks — from synthetic microarray data that mimics the paper's GEO series
+(see DESIGN.md §2 for the substitution rationale) — via exact Pearson
+correlation with significance and magnitude thresholds.
+"""
+
+from .correlation import (
+    CorrelationThreshold,
+    build_correlation_network,
+    correlated_pairs,
+    correlation_p_value,
+    critical_correlation,
+    pearson_correlation_matrix,
+)
+from .datasets import (
+    DATASET_CONFIGS,
+    StudyConfig,
+    SyntheticStudy,
+    dataset_names,
+    generate_study,
+    make_study,
+)
+from .io import read_expression_tsv, write_expression_tsv
+from .microarray import ExpressionMatrix
+from .preprocess import (
+    DifferentialExpressionResult,
+    apply_differential_filter,
+    differential_expression_scores,
+    select_differential_genes,
+)
+
+__all__ = [
+    "ExpressionMatrix",
+    "CorrelationThreshold",
+    "pearson_correlation_matrix",
+    "correlation_p_value",
+    "critical_correlation",
+    "correlated_pairs",
+    "build_correlation_network",
+    "StudyConfig",
+    "SyntheticStudy",
+    "generate_study",
+    "make_study",
+    "DATASET_CONFIGS",
+    "dataset_names",
+    "DifferentialExpressionResult",
+    "differential_expression_scores",
+    "select_differential_genes",
+    "apply_differential_filter",
+    "write_expression_tsv",
+    "read_expression_tsv",
+]

@@ -1,0 +1,422 @@
+"""Synthetic microarray studies standing in for the paper's GEO datasets.
+
+The paper evaluates on four networks derived from two GEO series:
+
+* **GSE5078** (Verbitsky et al., hippocampus ageing) split into **YNG**
+  (young mice) and **MID** (middle-aged mice).  The series was pre-filtered to
+  roughly a third of the genes (only those differentially expressed between
+  the two ages), producing a comparatively small network — the paper reports
+  5,348 vertices and 7,277 edges for YNG — whose clusters carry weaker
+  biological signal.
+* **GSE5140** (Bender et al., creatine supplementation) split into **UNT**
+  (untreated) and **CRE** (creatine-treated) middle-aged mice.  These use the
+  whole transcriptome; the CRE network has 27,896 vertices and 30,296 edges.
+
+The raw chips are not available offline, so this module *generates* expression
+matrices whose thresholded correlation networks have the same character:
+
+* a small number of dense co-expression **modules** (the biologically "real"
+  clusters, planted and therefore known exactly),
+* noisy **chains** — consecutive genes correlate just above the 0.95
+  threshold while genes two steps apart fall below it, which is what produces
+  the long paths and large cycles the chordal filter prunes,
+* noisy **clumps** — small groups of genes sharing a coincidental factor;
+  these become the dense-but-biologically-meaningless clusters (low AEES,
+  high overlap: the paper's "false positives"),
+* spurious **attachments** hanging off real modules (the extra genes the
+  Figure 9 case study shows being trimmed away by the filter).
+
+Note that a 0.95 correlation threshold makes the network highly transitive
+(two strong partners of the same gene are themselves correlated ≥ 0.8), so
+noise cannot appear as isolated random edges between otherwise unrelated
+genes; chains and clumps are the realistic noise geometries and the generator
+builds exactly those.
+
+Every generated study records its ground truth (module membership, noise
+edges) so the ontology annotations and the evaluation can be tied back to it.
+Sizes are controlled by a ``scale`` parameter: ``scale=1.0`` approximates the
+paper's vertex counts, while the benchmark configuration uses a smaller scale
+so the full pipeline runs in seconds (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..graph.graph import Graph, edge_key
+from .correlation import CorrelationThreshold, build_correlation_network
+from .microarray import ExpressionMatrix
+
+__all__ = [
+    "StudyConfig",
+    "SyntheticStudy",
+    "generate_study",
+    "make_study",
+    "DATASET_CONFIGS",
+    "dataset_names",
+]
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Parameters of one synthetic study (one condition of one GEO series).
+
+    Attributes
+    ----------
+    name:
+        dataset name used throughout the repo (``YNG``, ``MID``, ``UNT``, ``CRE``).
+    n_genes:
+        total number of genes on the (synthetic) chip.
+    n_samples:
+        number of arrays; the paper's series have on the order of 10–12
+        arrays per condition — few enough that coincidental 0.95 correlations
+        are plentiful, which is the noise the filter must remove.
+    n_modules / module_size / module_tightness:
+        number, size and within-module noise level of the planted
+        co-expression modules (smaller tightness = denser module in the
+        thresholded network).
+    n_noise_chains / noise_chain_length:
+        number and length of correlated noise chains.
+    n_noise_clumps / noise_clump_size / clump_tightness:
+        number, size and tightness of coincidental clumps (false clusters).
+    n_module_attachments:
+        number of background genes spuriously correlated with one member of a
+        planted module.
+    biological_signal:
+        overall strength (0–1) of the functional signal, consumed by the
+        ontology annotation generator; YNG/MID use a lower value to mimic the
+        weaker enrichment the paper observes after differential-expression
+        pre-filtering.
+    """
+
+    name: str
+    n_genes: int
+    n_samples: int
+    n_modules: int
+    module_size: int
+    module_tightness: float
+    n_noise_chains: int
+    noise_chain_length: int
+    n_noise_clumps: int
+    noise_clump_size: int
+    clump_tightness: float
+    n_module_attachments: int
+    biological_signal: float = 1.0
+
+    def scaled(self, scale: float) -> "StudyConfig":
+        """Return a copy with the study shrunk (or grown) by ``scale``.
+
+        Gene counts and chain counts scale linearly; the numbers of planted
+        modules and noise clumps scale with the square root of ``scale`` so
+        that reduced-scale studies still contain enough distinct clusters for
+        the per-cluster analyses (Figures 4–9) to be meaningful.
+        """
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        sqrt_scale = math.sqrt(scale)
+
+        def s(x: int, factor: float, minimum: int = 1) -> int:
+            return max(minimum, int(round(x * factor)))
+
+        return StudyConfig(
+            name=self.name,
+            n_genes=s(self.n_genes, scale, 32),
+            n_samples=self.n_samples,
+            n_modules=s(self.n_modules, sqrt_scale, 2),
+            module_size=self.module_size,
+            module_tightness=self.module_tightness,
+            n_noise_chains=s(self.n_noise_chains, scale, 2),
+            noise_chain_length=self.noise_chain_length,
+            n_noise_clumps=s(self.n_noise_clumps, sqrt_scale, 1),
+            noise_clump_size=self.noise_clump_size,
+            clump_tightness=self.clump_tightness,
+            n_module_attachments=s(self.n_module_attachments, scale, 1),
+            biological_signal=self.biological_signal,
+        )
+
+    def background_genes_required(self) -> int:
+        """Number of background genes the noise structures consume."""
+        return (
+            self.n_noise_chains * self.noise_chain_length
+            + self.n_noise_clumps * self.noise_clump_size
+            + self.n_module_attachments
+        )
+
+
+#: Canned configurations approximating the paper's four networks at scale 1.0.
+DATASET_CONFIGS: dict[str, StudyConfig] = {
+    # GSE5078 — young mice.  Pre-filtered series: fewer genes, weaker signal.
+    "YNG": StudyConfig(
+        name="YNG",
+        n_genes=5400,
+        n_samples=12,
+        n_modules=10,
+        module_size=12,
+        module_tightness=0.22,
+        n_noise_chains=580,
+        noise_chain_length=6,
+        n_noise_clumps=140,
+        noise_clump_size=8,
+        clump_tightness=0.235,
+        n_module_attachments=420,
+        biological_signal=0.8,
+    ),
+    # GSE5078 — middle-aged mice.
+    "MID": StudyConfig(
+        name="MID",
+        n_genes=5400,
+        n_samples=12,
+        n_modules=9,
+        module_size=12,
+        module_tightness=0.24,
+        n_noise_chains=560,
+        noise_chain_length=6,
+        n_noise_clumps=130,
+        noise_clump_size=8,
+        clump_tightness=0.24,
+        n_module_attachments=400,
+        biological_signal=0.75,
+    ),
+    # GSE5140 — untreated middle-aged mice (whole transcriptome).
+    "UNT": StudyConfig(
+        name="UNT",
+        n_genes=27000,
+        n_samples=10,
+        n_modules=28,
+        module_size=14,
+        module_tightness=0.17,
+        n_noise_chains=3400,
+        noise_chain_length=7,
+        n_noise_clumps=240,
+        noise_clump_size=9,
+        clump_tightness=0.225,
+        n_module_attachments=900,
+        biological_signal=0.9,
+    ),
+    # GSE5140 — creatine-supplemented middle-aged mice.
+    "CRE": StudyConfig(
+        name="CRE",
+        n_genes=27900,
+        n_samples=10,
+        n_modules=30,
+        module_size=14,
+        module_tightness=0.17,
+        n_noise_chains=3550,
+        noise_chain_length=7,
+        n_noise_clumps=250,
+        noise_clump_size=9,
+        clump_tightness=0.225,
+        n_module_attachments=950,
+        biological_signal=0.95,
+    ),
+}
+
+
+def dataset_names() -> list[str]:
+    """Return the four dataset names in the paper's order."""
+    return ["YNG", "MID", "UNT", "CRE"]
+
+
+@dataclass
+class SyntheticStudy:
+    """One generated study: expression matrix, ground truth and derived network."""
+
+    config: StudyConfig
+    matrix: ExpressionMatrix
+    modules: dict[str, list[str]]
+    noise_clumps: list[list[str]] = field(default_factory=list)
+    noise_edges_hint: list[tuple[str, str]] = field(default_factory=list)
+    seed: int = 0
+    _network: Optional[Graph] = field(default=None, repr=False)
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    def module_of(self) -> dict[str, str]:
+        """Return gene → module-name for every planted module member."""
+        out: dict[str, str] = {}
+        for mod, members in self.modules.items():
+            for g in members:
+                out[g] = mod
+        return out
+
+    def network(
+        self,
+        threshold: Optional[CorrelationThreshold] = None,
+        include_all_genes: bool = False,
+        rebuild: bool = False,
+    ) -> Graph:
+        """Return (and cache) the thresholded correlation network of this study."""
+        use_cache = threshold is None and not include_all_genes
+        if use_cache and self._network is not None and not rebuild:
+            return self._network
+        net = build_correlation_network(
+            self.matrix,
+            threshold=threshold or CorrelationThreshold(),
+            include_all_genes=include_all_genes,
+        )
+        if use_cache:
+            self._network = net
+        return net
+
+    def true_module_edges(self) -> set[tuple[str, str]]:
+        """Return every within-module gene pair as canonical edges (ground truth)."""
+        edges: set[tuple[str, str]] = set()
+        for members in self.modules.values():
+            for i, a in enumerate(members):
+                for b in members[i + 1 :]:
+                    edges.add(edge_key(a, b))
+        return edges
+
+
+def _module_gene_name(study: str, module: int, index: int) -> str:
+    return f"{study}_M{module:02d}_{index:02d}"
+
+
+def _background_gene_name(study: str, index: int) -> str:
+    return f"{study}_G{index:05d}"
+
+
+def generate_study(config: StudyConfig, seed: int = 0) -> SyntheticStudy:
+    """Generate one synthetic study according to ``config``.
+
+    The expression model is additive-Gaussian: every planted module (and every
+    noise clump) shares a latent factor; member genes observe the factor plus
+    private noise, so within-group correlations sit just above the paper's
+    0.95 threshold.  Noise chains are built link by link: each gene is a
+    mixture of its predecessor and fresh noise with mixing coefficient ≈ 0.952,
+    so consecutive genes pass the threshold while genes two steps apart fall
+    to ≈ 0.9 and do not.
+    """
+    rng = np.random.default_rng(seed)
+    n_samples = config.n_samples
+    gene_rows: list[np.ndarray] = []
+    gene_names: list[str] = []
+    modules: dict[str, list[str]] = {}
+    noise_clumps: list[list[str]] = []
+    noise_edges: list[tuple[str, str]] = []
+
+    def add_gene(name: str, values: np.ndarray) -> None:
+        gene_names.append(name)
+        gene_rows.append(values)
+
+    def group_rows(size: int, tightness: float) -> list[np.ndarray]:
+        """Rows for a co-expressed group: shared factor + jittered private noise."""
+        factor = rng.standard_normal(n_samples)
+        rows = []
+        for _ in range(size):
+            jitter = 1.0 + 0.3 * rng.random()
+            rows.append(factor + rng.standard_normal(n_samples) * tightness * jitter)
+        return rows
+
+    # --- planted co-expression modules -------------------------------------
+    for m in range(config.n_modules):
+        members: list[str] = []
+        module_name = f"{config.name}_module_{m:02d}"
+        for i, row in enumerate(group_rows(config.module_size, config.module_tightness)):
+            add_gene(_module_gene_name(config.name, m, i), row)
+            members.append(gene_names[-1])
+        modules[module_name] = members
+
+    n_structured = len(gene_names)
+    background_needed = config.background_genes_required()
+    n_background = max(background_needed, config.n_genes - n_structured)
+    next_background = 0
+
+    def new_background_gene(values: np.ndarray) -> str:
+        nonlocal next_background
+        name = _background_gene_name(config.name, next_background)
+        next_background += 1
+        add_gene(name, values)
+        return name
+
+    def chained_row(previous: np.ndarray, rho: float) -> np.ndarray:
+        """A row correlated ≈ rho with ``previous`` and otherwise independent."""
+        prev_std = (previous - previous.mean()) / (previous.std() + 1e-12)
+        fresh = rng.standard_normal(n_samples)
+        fresh -= fresh.mean()
+        fresh -= (fresh @ prev_std / n_samples) * prev_std
+        fresh /= fresh.std() + 1e-12
+        return rho * prev_std + math.sqrt(max(0.0, 1.0 - rho * rho)) * fresh
+
+    # --- noisy chains ---------------------------------------------------------
+    for _ in range(config.n_noise_chains):
+        length = max(2, config.noise_chain_length)
+        prev_row = rng.standard_normal(n_samples)
+        prev_name = new_background_gene(prev_row)
+        for _ in range(length - 1):
+            rho = 0.952 + 0.02 * rng.random()
+            row = chained_row(prev_row, rho)
+            name = new_background_gene(row)
+            noise_edges.append(edge_key(prev_name, name))
+            prev_name, prev_row = name, row
+
+    # --- noisy clumps (coincidental dense groups) -----------------------------
+    for _ in range(config.n_noise_clumps):
+        clump: list[str] = []
+        for row in group_rows(config.noise_clump_size, config.clump_tightness):
+            clump.append(new_background_gene(row))
+        noise_clumps.append(clump)
+        for i, a in enumerate(clump):
+            for b in clump[i + 1 :]:
+                noise_edges.append(edge_key(a, b))
+
+    # --- spurious attachments to real modules --------------------------------
+    module_members = [g for members in modules.values() for g in members]
+    name_index = {n: i for i, n in enumerate(gene_names)}
+    for _ in range(config.n_module_attachments):
+        target = module_members[int(rng.integers(0, len(module_members)))]
+        rho = 0.953 + 0.03 * rng.random()
+        row = chained_row(gene_rows[name_index[target]], rho)
+        name = new_background_gene(row)
+        noise_edges.append(edge_key(target, name))
+
+    # --- unstructured background genes ----------------------------------------
+    while next_background < n_background:
+        new_background_gene(rng.standard_normal(n_samples))
+
+    # Shuffle the chip order.  Real arrays list probes by nomenclature, not by
+    # functional module, so the "natural order" of the network must not align
+    # with the planted structure (otherwise block partitioning would see
+    # artificially few border edges and the ordering study would be biased).
+    perm = rng.permutation(len(gene_names))
+    gene_names = [gene_names[i] for i in perm]
+    gene_rows = [gene_rows[i] for i in perm]
+
+    values = np.vstack(gene_rows)
+    matrix = ExpressionMatrix(
+        values=values,
+        genes=gene_names,
+        samples=[f"{config.name}_sample_{i:02d}" for i in range(n_samples)],
+        conditions=[config.name] * n_samples,
+        metadata={"config": config.name, "seed": seed},
+    )
+    return SyntheticStudy(
+        config=config,
+        matrix=matrix,
+        modules=modules,
+        noise_clumps=noise_clumps,
+        noise_edges_hint=noise_edges,
+        seed=seed,
+    )
+
+
+def make_study(name: str, scale: float = 1.0, seed: Optional[int] = None) -> SyntheticStudy:
+    """Generate one of the four canned studies (``YNG``, ``MID``, ``UNT``, ``CRE``).
+
+    ``scale`` multiplies the structure counts (1.0 ≈ the paper's sizes);
+    ``seed`` defaults to a per-dataset constant so repeated calls yield
+    identical data.
+    """
+    key = name.strip().upper()
+    if key not in DATASET_CONFIGS:
+        raise KeyError(f"unknown dataset {name!r}; valid: {dataset_names()}")
+    config = DATASET_CONFIGS[key].scaled(scale)
+    if seed is None:
+        seed = {"YNG": 51, "MID": 52, "UNT": 53, "CRE": 54}[key]
+    return generate_study(config, seed=seed)

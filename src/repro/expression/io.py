@@ -1,0 +1,101 @@
+"""Tab-separated I/O for expression matrices.
+
+GEO series matrices are conventionally exchanged as TSV files with genes in
+rows and samples in columns (plus an optional condition header line).  These
+helpers let the examples persist generated studies and let users run the
+pipeline on their own matrices without writing parsing code.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import TextIO, Union
+
+import numpy as np
+
+from .microarray import ExpressionMatrix
+
+__all__ = ["write_expression_tsv", "read_expression_tsv"]
+
+PathLike = Union[str, os.PathLike]
+
+
+def write_expression_tsv(
+    matrix: ExpressionMatrix,
+    target: Union[PathLike, TextIO],
+    float_format: str = "%.6g",
+    include_conditions: bool = True,
+) -> None:
+    """Write a matrix as TSV: header row of samples, optional condition row, one row per gene."""
+    handle, should_close = _open_for_write(target)
+    try:
+        handle.write("gene\t" + "\t".join(matrix.samples) + "\n")
+        if include_conditions and matrix.conditions is not None:
+            handle.write("#condition\t" + "\t".join(matrix.conditions) + "\n")
+        for gene, row in zip(matrix.genes, matrix.values):
+            formatted = "\t".join(float_format % x for x in row)
+            handle.write(f"{gene}\t{formatted}\n")
+    finally:
+        if should_close:
+            handle.close()
+
+
+def read_expression_tsv(source: Union[PathLike, TextIO]) -> ExpressionMatrix:
+    """Read a matrix written by :func:`write_expression_tsv`.
+
+    The first line must be the sample header; an optional ``#condition`` line
+    provides per-sample condition labels; every other non-empty, non-comment
+    line is ``gene<TAB>value…``.
+    """
+    handle, should_close = _open_for_read(source)
+    try:
+        header = handle.readline().rstrip("\n")
+        if not header:
+            raise ValueError("empty expression file")
+        columns = header.split("\t")
+        if columns[0].lower() not in ("gene", "genes", "probe", "id"):
+            raise ValueError("expression TSV must start with a 'gene<TAB>sample…' header line")
+        samples = columns[1:]
+        conditions: list[str] | None = None
+        genes: list[str] = []
+        rows: list[list[float]] = []
+        for raw in handle:
+            line = raw.rstrip("\n")
+            if not line.strip():
+                continue
+            if line.startswith("#condition"):
+                conditions = line.split("\t")[1:]
+                continue
+            if line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) != len(samples) + 1:
+                raise ValueError(
+                    f"row for gene {parts[0]!r} has {len(parts) - 1} values, expected {len(samples)}"
+                )
+            genes.append(parts[0])
+            rows.append([float(x) for x in parts[1:]])
+    finally:
+        if should_close:
+            handle.close()
+    if not genes:
+        raise ValueError("expression file contains no gene rows")
+    return ExpressionMatrix(
+        values=np.array(rows, dtype=float),
+        genes=genes,
+        samples=samples,
+        conditions=conditions,
+    )
+
+
+def _open_for_write(target: Union[PathLike, TextIO]):
+    if hasattr(target, "write"):
+        return target, False
+    return open(Path(target), "w", encoding="utf-8"), True
+
+
+def _open_for_read(source: Union[PathLike, TextIO]):
+    if hasattr(source, "read"):
+        return source, False
+    return open(Path(source), "r", encoding="utf-8"), True

@@ -1,0 +1,162 @@
+"""Expression-matrix container.
+
+A microarray experiment yields a genes × samples matrix of expression levels.
+:class:`ExpressionMatrix` wraps a NumPy array together with gene and sample
+labels and provides the handful of operations the pipeline needs: subsetting
+by genes/samples, splitting by experimental condition (the paper splits
+GSE5078 into YNG/MID and GSE5140 into UNT/CRE), per-gene standardisation and
+variance screening.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["ExpressionMatrix"]
+
+
+@dataclass
+class ExpressionMatrix:
+    """A genes × samples expression matrix with labelled axes.
+
+    Attributes
+    ----------
+    values:
+        float array of shape ``(n_genes, n_samples)``.
+    genes:
+        gene identifiers, one per row.
+    samples:
+        sample identifiers, one per column.
+    conditions:
+        optional per-sample condition labels (e.g. ``"YNG"`` / ``"MID"``)
+        used by :meth:`split_by_condition`.
+    """
+
+    values: np.ndarray
+    genes: list[str]
+    samples: list[str]
+    conditions: Optional[list[str]] = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=float)
+        if self.values.ndim != 2:
+            raise ValueError("expression values must be a 2-D array (genes × samples)")
+        if self.values.shape[0] != len(self.genes):
+            raise ValueError(
+                f"{self.values.shape[0]} rows but {len(self.genes)} gene labels"
+            )
+        if self.values.shape[1] != len(self.samples):
+            raise ValueError(
+                f"{self.values.shape[1]} columns but {len(self.samples)} sample labels"
+            )
+        if self.conditions is not None and len(self.conditions) != len(self.samples):
+            raise ValueError("conditions must have one entry per sample")
+        if len(set(self.genes)) != len(self.genes):
+            raise ValueError("gene labels must be unique")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_genes(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def n_samples(self) -> int:
+        return self.values.shape[1]
+
+    def gene_index(self, gene: str) -> int:
+        """Return the row index of ``gene`` (raises ``KeyError`` when absent)."""
+        try:
+            return self.genes.index(gene)
+        except ValueError:
+            raise KeyError(f"gene {gene!r} not in matrix") from None
+
+    def expression_of(self, gene: str) -> np.ndarray:
+        """Return the expression vector of one gene (view, do not mutate)."""
+        return self.values[self.gene_index(gene)]
+
+    # ------------------------------------------------------------------
+    # subsetting
+    # ------------------------------------------------------------------
+    def subset_genes(self, genes: Iterable[str]) -> "ExpressionMatrix":
+        """Return a new matrix restricted to ``genes`` (in the given order)."""
+        genes = list(genes)
+        index = {g: i for i, g in enumerate(self.genes)}
+        missing = [g for g in genes if g not in index]
+        if missing:
+            raise KeyError(f"genes not in matrix: {missing[:5]}{'…' if len(missing) > 5 else ''}")
+        rows = [index[g] for g in genes]
+        return ExpressionMatrix(
+            values=self.values[rows, :].copy(),
+            genes=genes,
+            samples=list(self.samples),
+            conditions=list(self.conditions) if self.conditions else None,
+            metadata=dict(self.metadata),
+        )
+
+    def subset_samples(self, samples: Sequence[str]) -> "ExpressionMatrix":
+        """Return a new matrix restricted to ``samples`` (in the given order)."""
+        index = {s: i for i, s in enumerate(self.samples)}
+        missing = [s for s in samples if s not in index]
+        if missing:
+            raise KeyError(f"samples not in matrix: {missing}")
+        cols = [index[s] for s in samples]
+        return ExpressionMatrix(
+            values=self.values[:, cols].copy(),
+            genes=list(self.genes),
+            samples=list(samples),
+            conditions=[self.conditions[c] for c in cols] if self.conditions else None,
+            metadata=dict(self.metadata),
+        )
+
+    def split_by_condition(self) -> dict[str, "ExpressionMatrix"]:
+        """Split into one matrix per condition label (paper: age / treatment groups)."""
+        if not self.conditions:
+            raise ValueError("matrix has no condition labels to split on")
+        out: dict[str, ExpressionMatrix] = {}
+        for cond in dict.fromkeys(self.conditions):
+            samples = [s for s, c in zip(self.samples, self.conditions) if c == cond]
+            out[cond] = self.subset_samples(samples)
+        return out
+
+    # ------------------------------------------------------------------
+    # transforms
+    # ------------------------------------------------------------------
+    def standardized(self) -> "ExpressionMatrix":
+        """Return a copy with each gene scaled to zero mean and unit variance.
+
+        Genes with zero variance are left at zero (they carry no correlation
+        signal and would otherwise produce NaNs).
+        """
+        centered = self.values - self.values.mean(axis=1, keepdims=True)
+        std = self.values.std(axis=1, keepdims=True)
+        safe = np.where(std > 0, std, 1.0)
+        scaled = np.where(std > 0, centered / safe, 0.0)
+        return ExpressionMatrix(
+            values=scaled,
+            genes=list(self.genes),
+            samples=list(self.samples),
+            conditions=list(self.conditions) if self.conditions else None,
+            metadata=dict(self.metadata),
+        )
+
+    def gene_variances(self) -> np.ndarray:
+        """Return the per-gene expression variance."""
+        return self.values.var(axis=1)
+
+    def top_variance_genes(self, fraction: float) -> list[str]:
+        """Return the ``fraction`` of genes with the highest expression variance.
+
+        Mirrors the statistical pre-selection the paper applies to GSE5078
+        ("about 33% of the total possible genes").
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must lie in (0, 1]")
+        k = max(1, int(round(fraction * self.n_genes)))
+        order = np.argsort(self.gene_variances())[::-1][:k]
+        keep = sorted(order)
+        return [self.genes[i] for i in keep]

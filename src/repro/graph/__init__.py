@@ -1,0 +1,170 @@
+"""Graph substrate: data structure, generators, orderings, partitioning, metrics.
+
+This package provides everything the sampling algorithms need that is *not*
+specific to chordal graphs: the :class:`Graph` container, traversal and cycle
+utilities, the four vertex orderings studied by the paper, graph partitioners
+for the parallel algorithms, synthetic generators and structural metrics.
+"""
+
+from .centrality import (
+    betweenness_centrality,
+    centrality_spearman,
+    closeness_centrality,
+    degree_centrality,
+    hub_retention,
+    top_k_vertices,
+)
+from .cycles import (
+    average_clustering,
+    break_cycles,
+    count_triangles,
+    cycle_basis_sizes,
+    edge_in_triangle,
+    find_chordless_cycle,
+    has_cycle,
+    local_clustering,
+    triangles_of_edge,
+)
+from .generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    correlation_like_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    planted_partition_graph,
+    random_tree,
+    star_graph,
+)
+from .graph import Graph, edge_key
+from .io import (
+    edge_list_string,
+    graph_from_string,
+    read_adjacency,
+    read_edge_list,
+    write_adjacency,
+    write_edge_list,
+)
+from .metrics import (
+    GraphSummary,
+    compare_summaries,
+    component_size_distribution,
+    degree_histogram,
+    degree_statistics,
+    edge_retention,
+    summarize_graph,
+    vertex_coverage,
+)
+from .ordering import (
+    ORDERINGS,
+    get_ordering,
+    high_degree_order,
+    low_degree_order,
+    natural_order,
+    ordering_names,
+    permute_graph,
+    random_order,
+    rcm_order,
+    reverse_order,
+)
+from .partition import (
+    PARTITIONERS,
+    Partition,
+    bfs_partition,
+    block_partition,
+    get_partitioner,
+    greedy_edge_cut_partition,
+    hash_partition,
+    partition_graph,
+)
+from .traversal import (
+    bfs_levels,
+    bfs_order,
+    bfs_tree_edges,
+    connected_components,
+    dfs_order,
+    is_connected,
+    pseudo_peripheral_vertex,
+    shortest_path,
+    shortest_path_lengths,
+)
+
+__all__ = [
+    "Graph",
+    "edge_key",
+    # centrality
+    "degree_centrality",
+    "closeness_centrality",
+    "betweenness_centrality",
+    "top_k_vertices",
+    "hub_retention",
+    "centrality_spearman",
+    # traversal
+    "bfs_order",
+    "bfs_levels",
+    "bfs_tree_edges",
+    "dfs_order",
+    "connected_components",
+    "is_connected",
+    "shortest_path",
+    "shortest_path_lengths",
+    "pseudo_peripheral_vertex",
+    # cycles
+    "count_triangles",
+    "triangles_of_edge",
+    "edge_in_triangle",
+    "local_clustering",
+    "average_clustering",
+    "has_cycle",
+    "cycle_basis_sizes",
+    "find_chordless_cycle",
+    "break_cycles",
+    # orderings
+    "ORDERINGS",
+    "get_ordering",
+    "ordering_names",
+    "natural_order",
+    "high_degree_order",
+    "low_degree_order",
+    "rcm_order",
+    "reverse_order",
+    "random_order",
+    "permute_graph",
+    # partitioning
+    "Partition",
+    "PARTITIONERS",
+    "partition_graph",
+    "get_partitioner",
+    "block_partition",
+    "hash_partition",
+    "bfs_partition",
+    "greedy_edge_cut_partition",
+    # generators
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "star_graph",
+    "grid_graph",
+    "random_tree",
+    "erdos_renyi_graph",
+    "barabasi_albert_graph",
+    "planted_partition_graph",
+    "correlation_like_graph",
+    # metrics
+    "GraphSummary",
+    "summarize_graph",
+    "compare_summaries",
+    "degree_histogram",
+    "degree_statistics",
+    "component_size_distribution",
+    "edge_retention",
+    "vertex_coverage",
+    # io
+    "write_edge_list",
+    "read_edge_list",
+    "write_adjacency",
+    "read_adjacency",
+    "edge_list_string",
+    "graph_from_string",
+]

@@ -1,0 +1,164 @@
+"""Structural metrics for comparing original and sampled networks.
+
+The graph-sampling literature the paper positions itself against (Leskovec &
+Faloutsos 2006; Maiya & Berger-Wolf 2011) evaluates samplers by how well they
+preserve structural properties — degree distribution, clustering, reach.  The
+paper argues structural preservation is the wrong goal for noisy correlation
+networks, but the benchmark harness still reports these metrics so the two
+filters can be contrasted on both axes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Hashable
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cycles import average_clustering, count_triangles
+from .graph import Graph
+from .traversal import connected_components, shortest_path_lengths
+
+__all__ = [
+    "degree_histogram",
+    "degree_statistics",
+    "component_size_distribution",
+    "edge_retention",
+    "vertex_coverage",
+    "average_path_length_sampled",
+    "GraphSummary",
+    "summarize_graph",
+    "compare_summaries",
+]
+
+Vertex = Hashable
+
+
+def degree_histogram(graph: Graph) -> dict[int, int]:
+    """Return a mapping degree → number of vertices with that degree."""
+    return dict(Counter(graph.degree(v) for v in graph.vertices()))
+
+
+def degree_statistics(graph: Graph) -> dict[str, float]:
+    """Return mean / max / median degree and degree variance."""
+    if graph.n_vertices == 0:
+        return {"mean": 0.0, "max": 0.0, "median": 0.0, "variance": 0.0}
+    degs = np.array([graph.degree(v) for v in graph.vertices()], dtype=float)
+    return {
+        "mean": float(degs.mean()),
+        "max": float(degs.max()),
+        "median": float(np.median(degs)),
+        "variance": float(degs.var()),
+    }
+
+
+def component_size_distribution(graph: Graph) -> list[int]:
+    """Return the sorted (descending) sizes of the connected components."""
+    return sorted((len(c) for c in connected_components(graph)), reverse=True)
+
+
+def edge_retention(original: Graph, sampled: Graph) -> float:
+    """Return the fraction of original edges present in the sampled graph."""
+    if original.n_edges == 0:
+        return 1.0
+    kept = sum(1 for u, v in original.iter_edges() if sampled.has_edge(u, v))
+    return kept / original.n_edges
+
+
+def vertex_coverage(original: Graph, sampled: Graph) -> float:
+    """Return the fraction of original vertices that are non-isolated in the sample."""
+    if original.n_vertices == 0:
+        return 1.0
+    covered = sum(
+        1
+        for v in original.vertices()
+        if sampled.has_vertex(v) and sampled.degree(v) > 0
+    )
+    return covered / original.n_vertices
+
+
+def average_path_length_sampled(graph: Graph, n_sources: int = 32, seed: int = 0) -> float:
+    """Estimate the average shortest-path length by BFS from sampled sources.
+
+    Pairs in different components are ignored.  Returns 0.0 for graphs with
+    fewer than two vertices or no finite pairs.
+    """
+    verts = graph.vertices()
+    if len(verts) < 2:
+        return 0.0
+    rng = np.random.default_rng(seed)
+    k = min(n_sources, len(verts))
+    sources = [verts[int(i)] for i in rng.choice(len(verts), size=k, replace=False)]
+    total = 0
+    count = 0
+    for s in sources:
+        dist = shortest_path_lengths(graph, s)
+        for v, d in dist.items():
+            if v != s:
+                total += d
+                count += 1
+    return total / count if count else 0.0
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """A compact structural fingerprint of a network."""
+
+    n_vertices: int
+    n_edges: int
+    density: float
+    max_degree: int
+    mean_degree: float
+    n_components: int
+    largest_component: int
+    n_triangles: int
+    avg_clustering: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "n_vertices": self.n_vertices,
+            "n_edges": self.n_edges,
+            "density": self.density,
+            "max_degree": self.max_degree,
+            "mean_degree": self.mean_degree,
+            "n_components": self.n_components,
+            "largest_component": self.largest_component,
+            "n_triangles": self.n_triangles,
+            "avg_clustering": self.avg_clustering,
+        }
+
+
+def summarize_graph(graph: Graph) -> GraphSummary:
+    """Compute a :class:`GraphSummary` for ``graph``."""
+    comps = component_size_distribution(graph)
+    stats = degree_statistics(graph)
+    return GraphSummary(
+        n_vertices=graph.n_vertices,
+        n_edges=graph.n_edges,
+        density=graph.density(),
+        max_degree=graph.max_degree(),
+        mean_degree=stats["mean"],
+        n_components=len(comps),
+        largest_component=comps[0] if comps else 0,
+        n_triangles=count_triangles(graph),
+        avg_clustering=average_clustering(graph),
+    )
+
+
+def compare_summaries(original: GraphSummary, sampled: GraphSummary) -> dict[str, float]:
+    """Return relative-retention ratios (sampled / original) for each summary field.
+
+    Fields whose original value is zero report 1.0 when the sampled value is
+    also zero and ``inf`` otherwise, which keeps the comparison total.
+    """
+    out: dict[str, float] = {}
+    orig = original.as_dict()
+    samp = sampled.as_dict()
+    for key, o in orig.items():
+        s = samp[key]
+        if o == 0:
+            out[key] = 1.0 if s == 0 else float("inf")
+        else:
+            out[key] = s / o
+    return out

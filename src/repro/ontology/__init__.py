@@ -1,0 +1,31 @@
+"""Ontology substrate: GO-like DAG, annotations and edge-enrichment scoring.
+
+Used for the paper's orthogonal validation: clusters are scored by the depth
+and proximity of their genes' shared functional annotations (AEES), which
+separates biologically meaningful clusters from coincidental ones.
+"""
+
+from .annotation import AnnotationTable
+from .enrichment import (
+    ClusterEnrichment,
+    EdgeAnnotation,
+    EnrichmentScorer,
+    score_cluster,
+    score_edge,
+)
+from .generator import annotate_study, make_go_dag, make_study_ontology
+from .go_dag import GODag, GOTerm
+
+__all__ = [
+    "GODag",
+    "GOTerm",
+    "AnnotationTable",
+    "EdgeAnnotation",
+    "ClusterEnrichment",
+    "EnrichmentScorer",
+    "score_edge",
+    "score_cluster",
+    "make_go_dag",
+    "annotate_study",
+    "make_study_ontology",
+]

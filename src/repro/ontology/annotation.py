@@ -1,0 +1,105 @@
+"""Gene → GO-term annotation tables.
+
+The enrichment scorer needs, for every gene, the set of ontology terms it is
+annotated with.  :class:`AnnotationTable` stores that mapping, validates the
+terms against a :class:`~repro.ontology.go_dag.GODag` and offers the couple of
+queries the pipeline uses (terms of a gene, annotated-gene test, per-term gene
+lists for enrichment summaries).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from typing import Optional
+
+from .go_dag import GODag
+
+__all__ = ["AnnotationTable"]
+
+
+class AnnotationTable:
+    """A mapping from gene identifiers to sets of GO term ids.
+
+    Parameters
+    ----------
+    dag:
+        The ontology the term ids must belong to.  Annotations naming unknown
+        terms raise ``KeyError`` at insertion time, so a table is always
+        consistent with its DAG.
+    annotations:
+        Optional initial mapping ``gene -> iterable of term ids``.
+    """
+
+    def __init__(
+        self,
+        dag: GODag,
+        annotations: Optional[Mapping[str, Iterable[str]]] = None,
+    ) -> None:
+        self.dag = dag
+        self._gene_terms: dict[str, set[str]] = {}
+        self._term_genes: dict[str, set[str]] = {}
+        if annotations:
+            for gene, terms in annotations.items():
+                self.annotate(gene, terms)
+
+    # ------------------------------------------------------------------
+    def annotate(self, gene: str, terms: Iterable[str]) -> None:
+        """Add term annotations to ``gene`` (terms must exist in the DAG)."""
+        term_list = list(terms)
+        for t in term_list:
+            if t not in self.dag:
+                raise KeyError(f"annotation of {gene!r} names unknown GO term {t!r}")
+        bucket = self._gene_terms.setdefault(gene, set())
+        for t in term_list:
+            bucket.add(t)
+            self._term_genes.setdefault(t, set()).add(gene)
+
+    def terms_of(self, gene: str) -> set[str]:
+        """Return the terms annotated to ``gene`` (empty set when unannotated)."""
+        return set(self._gene_terms.get(gene, set()))
+
+    def genes_of(self, term: str) -> set[str]:
+        """Return the genes annotated with ``term`` (directly, not via descendants)."""
+        return set(self._term_genes.get(term, set()))
+
+    def genes_of_subtree(self, term: str) -> set[str]:
+        """Return genes annotated with ``term`` or any of its descendants."""
+        out: set[str] = set()
+        for t in self.dag.subtree(term):
+            out |= self._term_genes.get(t, set())
+        return out
+
+    def is_annotated(self, gene: str) -> bool:
+        return bool(self._gene_terms.get(gene))
+
+    def genes(self) -> list[str]:
+        """Return every annotated gene (insertion order)."""
+        return list(self._gene_terms)
+
+    def n_annotations(self) -> int:
+        """Return the total number of (gene, term) pairs."""
+        return sum(len(v) for v in self._gene_terms.values())
+
+    def coverage(self, genes: Iterable[str]) -> float:
+        """Return the fraction of ``genes`` that carry at least one annotation."""
+        genes = list(genes)
+        if not genes:
+            return 0.0
+        return sum(1 for g in genes if self.is_annotated(g)) / len(genes)
+
+    def merged_with(self, other: "AnnotationTable") -> "AnnotationTable":
+        """Return a new table containing the union of both tables' annotations."""
+        if other.dag is not self.dag:
+            raise ValueError("both tables must reference the same GODag instance")
+        merged = AnnotationTable(self.dag)
+        for gene in self.genes():
+            merged.annotate(gene, self.terms_of(gene))
+        for gene in other.genes():
+            merged.annotate(gene, other.terms_of(gene))
+        return merged
+
+    def __len__(self) -> int:
+        return len(self._gene_terms)
+
+    def __contains__(self, gene: str) -> bool:
+        return gene in self._gene_terms

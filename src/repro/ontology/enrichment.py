@@ -1,0 +1,183 @@
+"""Edge enrichment scoring (Dempsey et al. 2011) and cluster AEES.
+
+The paper validates clusters *orthogonally* — not by their connectivity but by
+how functionally coherent they are according to the Gene Ontology:
+
+* every cluster edge ``(n1, n2)`` is annotated with the **deepest common
+  parent** (DCP) of the two genes' GO terms;
+* the edge score is ``DCP depth − term breadth`` where term breadth is the
+  shortest ontology path between the two annotations — edges between genes
+  with deep, nearby annotations score high, edges between unrelated genes
+  score near (or below) zero;
+* the **average edge enrichment score** (AEES) over all edges of a cluster
+  ranks clusters; the paper uses AEES > 3.0 as the "biologically relevant"
+  bar, and annotates the cluster with its dominating DCP term.
+
+This module implements the edge scorer, the cluster scorer and the dominant
+term annotation, caching per-gene-pair scores because overlap analysis scores
+the same edges under several filters.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..graph.graph import Graph, edge_key
+from .annotation import AnnotationTable
+from .go_dag import GODag
+
+__all__ = [
+    "EdgeAnnotation",
+    "ClusterEnrichment",
+    "EnrichmentScorer",
+    "score_edge",
+    "score_cluster",
+]
+
+Vertex = Hashable
+Edge = tuple[Vertex, Vertex]
+
+
+@dataclass(frozen=True)
+class EdgeAnnotation:
+    """The enrichment annotation of one edge.
+
+    ``dcp`` is the deepest common parent term chosen among all pairs of the
+    two genes' annotations, ``depth`` its depth, ``breadth`` the ontology
+    distance between the chosen term pair and ``score = depth − breadth``.
+    Unannotated endpoints yield the sentinel annotation with score 0 and no
+    DCP.
+    """
+
+    edge: Edge
+    dcp: Optional[str]
+    depth: int
+    breadth: int
+    score: float
+
+
+@dataclass
+class ClusterEnrichment:
+    """Enrichment summary of one cluster: per-edge annotations and aggregates."""
+
+    edges: list[EdgeAnnotation] = field(default_factory=list)
+
+    @property
+    def aees(self) -> float:
+        """Average edge enrichment score (0.0 for clusters with no scored edge)."""
+        if not self.edges:
+            return 0.0
+        return sum(e.score for e in self.edges) / len(self.edges)
+
+    @property
+    def max_score(self) -> float:
+        """Deepest (best) single edge score — the paper's "Max Score" column."""
+        if not self.edges:
+            return 0.0
+        return max(e.score for e in self.edges)
+
+    @property
+    def max_depth(self) -> int:
+        """Depth of the deepest DCP term seen in the cluster."""
+        if not self.edges:
+            return 0
+        return max(e.depth for e in self.edges)
+
+    def dominant_term(self) -> Optional[str]:
+        """Return the most frequent DCP term across edges (the cluster's annotation)."""
+        counts = Counter(e.dcp for e in self.edges if e.dcp is not None)
+        if not counts:
+            return None
+        # most common; ties broken by term id for determinism
+        best = max(counts.items(), key=lambda kv: (kv[1], kv[0]))
+        return best[0]
+
+    def term_frequencies(self) -> dict[str, int]:
+        """Return DCP term → number of edges annotated with it."""
+        return dict(Counter(e.dcp for e in self.edges if e.dcp is not None))
+
+
+def score_edge(
+    dag: GODag,
+    annotations: AnnotationTable,
+    u: Vertex,
+    v: Vertex,
+) -> EdgeAnnotation:
+    """Score a single edge; see the module docstring for the scoring rule.
+
+    When either endpoint has no annotation the edge scores 0 with no DCP —
+    the paper treats scores at or below zero as likely noise.
+    """
+    terms_u = annotations.terms_of(str(u))
+    terms_v = annotations.terms_of(str(v))
+    key = edge_key(u, v)
+    if not terms_u or not terms_v:
+        return EdgeAnnotation(edge=key, dcp=None, depth=0, breadth=0, score=0.0)
+    best: Optional[EdgeAnnotation] = None
+    for ta in sorted(terms_u):
+        for tb in sorted(terms_v):
+            dcp = dag.deepest_common_parent(ta, tb)
+            depth = dag.depth(dcp)
+            breadth = dag.term_distance(ta, tb)
+            score = float(depth - breadth)
+            candidate = EdgeAnnotation(edge=key, dcp=dcp, depth=depth, breadth=breadth, score=score)
+            if best is None or candidate.score > best.score:
+                best = candidate
+    assert best is not None
+    return best
+
+
+def score_cluster(
+    dag: GODag,
+    annotations: AnnotationTable,
+    cluster_graph: Graph,
+) -> ClusterEnrichment:
+    """Score every edge of a cluster subgraph and return the aggregate."""
+    enrichment = ClusterEnrichment()
+    for u, v in cluster_graph.iter_edges():
+        enrichment.edges.append(score_edge(dag, annotations, u, v))
+    return enrichment
+
+
+class EnrichmentScorer:
+    """A caching front-end for edge / cluster enrichment scoring.
+
+    The overlap analysis scores the same gene pairs repeatedly (original
+    network, four orderings, several processor counts), so per-pair scores are
+    memoised.  The scorer is deliberately tied to one (DAG, annotation) pair.
+    """
+
+    def __init__(self, dag: GODag, annotations: AnnotationTable) -> None:
+        self.dag = dag
+        self.annotations = annotations
+        self._cache: dict[Edge, EdgeAnnotation] = {}
+
+    def edge(self, u: Vertex, v: Vertex) -> EdgeAnnotation:
+        """Return the (cached) enrichment annotation of one edge."""
+        key = edge_key(u, v)
+        hit = self._cache.get(key)
+        if hit is None:
+            hit = score_edge(self.dag, self.annotations, u, v)
+            self._cache[key] = hit
+        return hit
+
+    def cluster(self, cluster_graph: Graph) -> ClusterEnrichment:
+        """Return the enrichment of a cluster subgraph (edges scored via the cache)."""
+        enrichment = ClusterEnrichment()
+        for u, v in cluster_graph.iter_edges():
+            enrichment.edges.append(self.edge(u, v))
+        return enrichment
+
+    def edge_subset(self, edges: Iterable[Edge]) -> ClusterEnrichment:
+        """Score an explicit edge list (used for ad-hoc cluster comparisons)."""
+        enrichment = ClusterEnrichment()
+        for u, v in edges:
+            enrichment.edges.append(self.edge(u, v))
+        return enrichment
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,265 @@
+"""A Gene-Ontology-like directed acyclic graph of functional terms.
+
+The paper's orthogonal validation annotates cluster edges with the *deepest
+common parent* (DCP) of the two genes' GO terms and scores the edge as
+``DCP depth − term breadth``.  All of that only needs the DAG structure:
+term depth (distance from the root), ancestor sets, deepest common ancestors
+and shortest term-to-term paths.  :class:`GODag` provides those operations for
+any rooted DAG — the synthetic generator in :mod:`repro.ontology.generator`
+builds one shaped like the GO biological-process tree.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+from typing import Optional
+
+__all__ = ["GOTerm", "GODag"]
+
+
+class GOTerm:
+    """One ontology term: an identifier, a human-readable name and parent links."""
+
+    __slots__ = ("term_id", "name", "parents", "children")
+
+    def __init__(self, term_id: str, name: str = "") -> None:
+        self.term_id = term_id
+        self.name = name or term_id
+        self.parents: list[str] = []
+        self.children: list[str] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"GOTerm({self.term_id!r}, name={self.name!r})"
+
+
+class GODag:
+    """A rooted DAG of :class:`GOTerm` objects with the paper's query operations.
+
+    The DAG is built incrementally with :meth:`add_term`; every term except the
+    root must list at least one existing parent.  Cycles are rejected at
+    insertion time (a parent must already exist, so the structure is built in
+    topological order and can never contain a cycle).
+    """
+
+    def __init__(self, root_id: str = "GO:ROOT", root_name: str = "biological_process") -> None:
+        self.root_id = root_id
+        self._terms: dict[str, GOTerm] = {}
+        root = GOTerm(root_id, root_name)
+        self._terms[root_id] = root
+        self._depth_cache: dict[str, int] = {root_id: 0}
+        self._ancestor_cache: dict[str, frozenset[str]] = {}
+        self._distance_cache: dict[tuple[str, str], int] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_term(self, term_id: str, parents: Iterable[str], name: str = "") -> GOTerm:
+        """Add a term with the given parent term ids (all must already exist)."""
+        if term_id in self._terms:
+            raise ValueError(f"term {term_id!r} already exists")
+        parent_list = list(dict.fromkeys(parents))
+        if not parent_list:
+            raise ValueError("every non-root term needs at least one parent")
+        missing = [p for p in parent_list if p not in self._terms]
+        if missing:
+            raise KeyError(f"unknown parent terms: {missing}")
+        term = GOTerm(term_id, name)
+        term.parents = parent_list
+        self._terms[term_id] = term
+        for p in parent_list:
+            self._terms[p].children.append(term_id)
+        self._depth_cache[term_id] = 1 + max(self._depth_cache[p] for p in parent_list)
+        self._ancestor_cache.pop(term_id, None)
+        return term
+
+    def add_parent(self, term_id: str, parent_id: str) -> None:
+        """Add an extra parent link (GO terms often have several parents).
+
+        The link is rejected when it would create a cycle (i.e. when
+        ``parent_id`` is a descendant of ``term_id``).  Depth is recomputed
+        lazily as the maximum over parents; ancestor caches are invalidated.
+        """
+        term = self.term(term_id)
+        parent = self.term(parent_id)
+        if parent_id in term.parents:
+            return
+        if term_id in self.ancestors(parent_id):
+            raise ValueError(f"adding parent {parent_id!r} to {term_id!r} would create a cycle")
+        term.parents.append(parent_id)
+        parent.children.append(term_id)
+        # Longest-path depths of the term and its descendants may grow.
+        self._ancestor_cache.clear()
+        self._distance_cache.clear()
+        self._recompute_depths_from(term_id)
+
+    def _recompute_depths_from(self, term_id: str) -> None:
+        """Refresh longest-path depths for ``term_id`` and everything below it."""
+        stack = [term_id]
+        while stack:
+            t = stack.pop()
+            node = self._terms[t]
+            if node.parents:
+                new_depth = 1 + max(self._depth_cache[p] for p in node.parents)
+            else:
+                new_depth = 0
+            if new_depth != self._depth_cache.get(t):
+                self._depth_cache[t] = new_depth
+                stack.extend(node.children)
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    def __contains__(self, term_id: str) -> bool:
+        return term_id in self._terms
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def terms(self) -> list[str]:
+        """Return every term id in insertion order (root first)."""
+        return list(self._terms)
+
+    def term(self, term_id: str) -> GOTerm:
+        try:
+            return self._terms[term_id]
+        except KeyError:
+            raise KeyError(f"unknown GO term {term_id!r}") from None
+
+    def parents(self, term_id: str) -> list[str]:
+        return list(self.term(term_id).parents)
+
+    def children(self, term_id: str) -> list[str]:
+        return list(self.term(term_id).children)
+
+    def is_leaf(self, term_id: str) -> bool:
+        return not self.term(term_id).children
+
+    def depth(self, term_id: str) -> int:
+        """Return the depth of a term: the longest path length from the root.
+
+        The root has depth 0.  Longest-path depth matches the Gene Ontology
+        convention that a term reachable through a more specific lineage is
+        considered deeper (more specialised).
+        """
+        if term_id not in self._terms:
+            raise KeyError(f"unknown GO term {term_id!r}")
+        return self._depth_cache[term_id]
+
+    def max_depth(self) -> int:
+        """Return the depth of the deepest term in the DAG."""
+        return max(self._depth_cache.values())
+
+    # ------------------------------------------------------------------
+    # ancestry
+    # ------------------------------------------------------------------
+    def ancestors(self, term_id: str, include_self: bool = True) -> frozenset[str]:
+        """Return every ancestor of ``term_id`` (cached), optionally including itself."""
+        if term_id not in self._terms:
+            raise KeyError(f"unknown GO term {term_id!r}")
+        cached = self._ancestor_cache.get(term_id)
+        if cached is None:
+            out: set[str] = {term_id}
+            stack = list(self.term(term_id).parents)
+            while stack:
+                p = stack.pop()
+                if p not in out:
+                    out.add(p)
+                    stack.extend(self.term(p).parents)
+            cached = frozenset(out)
+            self._ancestor_cache[term_id] = cached
+        return cached if include_self else frozenset(cached - {term_id})
+
+    def common_ancestors(self, term_a: str, term_b: str) -> frozenset[str]:
+        """Return the common ancestors of two terms (including the terms themselves
+        when one is an ancestor of the other)."""
+        return self.ancestors(term_a) & self.ancestors(term_b)
+
+    def deepest_common_parent(self, term_a: str, term_b: str) -> str:
+        """Return the deepest common ancestor of two terms (ties broken lexically).
+
+        This is the paper's DCP.  The root is always a common ancestor, so the
+        result is well defined for any pair of terms in the DAG.
+        """
+        common = self.common_ancestors(term_a, term_b)
+        return max(common, key=lambda t: (self._depth_cache[t], t))
+
+    # ------------------------------------------------------------------
+    # distances
+    # ------------------------------------------------------------------
+    def term_distance(self, term_a: str, term_b: str) -> int:
+        """Return the shortest undirected path length between two terms.
+
+        This is the paper's *term breadth*: how far apart the two annotations
+        sit in the ontology.  Terms in disconnected annotation namespaces
+        would return ``-1``, but a rooted DAG is always connected.
+        """
+        if term_a == term_b:
+            return 0
+        self.term(term_a)
+        self.term(term_b)
+        cache_key = (term_a, term_b) if term_a < term_b else (term_b, term_a)
+        cached = self._distance_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        # BFS over the undirected parent/child structure.
+        dist = {term_a: 0}
+        queue: deque[str] = deque([term_a])
+        result = -1
+        while queue:
+            t = queue.popleft()
+            node = self._terms[t]
+            for nxt in list(node.parents) + list(node.children):
+                if nxt not in dist:
+                    dist[nxt] = dist[t] + 1
+                    if nxt == term_b:
+                        result = dist[nxt]
+                        queue.clear()
+                        break
+                    queue.append(nxt)
+        self._distance_cache[cache_key] = result
+        return result
+
+    def path_to_root(self, term_id: str) -> list[str]:
+        """Return one shortest parent-chain from ``term_id`` up to the root."""
+        self.term(term_id)
+        # BFS upward (parents only).
+        parent_of: dict[str, Optional[str]] = {term_id: None}
+        queue: deque[str] = deque([term_id])
+        while queue:
+            t = queue.popleft()
+            if t == self.root_id:
+                path = [t]
+                while parent_of[path[-1]] is not None:
+                    path.append(parent_of[path[-1]])  # type: ignore[arg-type]
+                return list(reversed(path))
+            for p in self._terms[t].parents:
+                if p not in parent_of:
+                    parent_of[p] = t
+                    queue.append(p)
+        raise RuntimeError(f"term {term_id!r} is not connected to the root")  # pragma: no cover
+
+    def subtree(self, term_id: str) -> set[str]:
+        """Return every descendant of ``term_id`` (including itself)."""
+        self.term(term_id)
+        out = {term_id}
+        stack = [term_id]
+        while stack:
+            t = stack.pop()
+            for c in self._terms[t].children:
+                if c not in out:
+                    out.add(c)
+                    stack.append(c)
+        return out
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` when parent/child links are inconsistent."""
+        for tid, term in self._terms.items():
+            for p in term.parents:
+                if tid not in self._terms[p].children:
+                    raise ValueError(f"parent link {tid} -> {p} missing reverse child link")
+            for c in term.children:
+                if tid not in self._terms[c].parents:
+                    raise ValueError(f"child link {tid} -> {c} missing reverse parent link")
+            if tid != self.root_id and not term.parents:
+                raise ValueError(f"non-root term {tid} has no parents")

@@ -1,0 +1,34 @@
+"""Parallel runtime substrate: simulated MPI communicator, SPMD runner, cost model.
+
+The paper's algorithms were written for a distributed-memory MPI machine.
+This package substitutes an in-process equivalent (see DESIGN.md §2): the
+algorithms exchange the same messages over :class:`SimComm`, rank work is
+measured exactly, and :class:`CostModel` converts that work into simulated
+wall-clock times for the scalability study.
+"""
+
+from .comm import ANY_SOURCE, ANY_TAG, CommStats, SimComm, SimCommWorld
+from .rng import derive_seed, rank_rng, rank_rngs
+from .runner import RankResult, SpmdReport, available_backends, parallel_map, run_spmd
+from .timing import CostModel, RankWork, efficiency, simulate_execution_time, speedup
+
+__all__ = [
+    "SimComm",
+    "SimCommWorld",
+    "CommStats",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "run_spmd",
+    "parallel_map",
+    "available_backends",
+    "RankResult",
+    "SpmdReport",
+    "CostModel",
+    "RankWork",
+    "simulate_execution_time",
+    "speedup",
+    "efficiency",
+    "rank_rngs",
+    "rank_rng",
+    "derive_seed",
+]

@@ -1,0 +1,262 @@
+"""An in-process, MPI-like message-passing communicator.
+
+The paper's experiments ran on the Firefly cluster with a distributed-memory
+MPI implementation.  That substrate is unavailable offline, so this module
+provides :class:`SimCommWorld` / :class:`SimComm`: a faithful *functional*
+replacement that executes one Python thread per rank and exchanges messages
+through per-rank mailboxes with MPI-style ``(source, tag)`` matching.  The
+point-to-point and collective semantics mirror the mpi4py lower-case API
+(pickle-able Python objects, blocking ``send``/``recv``, ``bcast``,
+``gather``, ``allgather``, ``barrier``, ``reduce``), which is what the
+with-communication chordal sampler needs.
+
+Every communicator records how many messages and how many payload items it
+sent; the scalability cost model consumes those counters to reproduce the
+shape of the paper's Figure 10 without real network hardware.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+__all__ = ["CommStats", "SimCommWorld", "SimComm", "ANY_SOURCE", "ANY_TAG"]
+
+#: Wildcard source rank for :meth:`SimComm.recv`.
+ANY_SOURCE = -1
+#: Wildcard tag for :meth:`SimComm.recv`.
+ANY_TAG = -1
+
+
+def _payload_items(obj: Any) -> int:
+    """Best-effort size of a message payload in 'items' (edges, vertices, ...)."""
+    try:
+        return max(1, len(obj))  # type: ignore[arg-type]
+    except TypeError:
+        return 1
+
+
+@dataclass
+class CommStats:
+    """Per-rank communication counters."""
+
+    messages_sent: int = 0
+    messages_received: int = 0
+    items_sent: int = 0
+    items_received: int = 0
+    barriers: int = 0
+    collectives: int = 0
+
+    def merge(self, other: "CommStats") -> "CommStats":
+        """Return element-wise sums of two counter sets."""
+        return CommStats(
+            messages_sent=self.messages_sent + other.messages_sent,
+            messages_received=self.messages_received + other.messages_received,
+            items_sent=self.items_sent + other.items_sent,
+            items_received=self.items_received + other.items_received,
+            barriers=self.barriers + other.barriers,
+            collectives=self.collectives + other.collectives,
+        )
+
+
+@dataclass
+class _Message:
+    source: int
+    tag: int
+    payload: Any
+
+
+class SimCommWorld:
+    """Shared state for a group of :class:`SimComm` endpoints.
+
+    A world owns one mailbox per rank, a reusable barrier and the global
+    communication statistics.  Create one world per SPMD execution; ranks must
+    not be reused across concurrent executions.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError(f"communicator size must be >= 1, got {size}")
+        self.size = size
+        self._mailboxes: list[queue.Queue[_Message]] = [queue.Queue() for _ in range(size)]
+        self._unmatched: list[list[_Message]] = [[] for _ in range(size)]
+        self._locks = [threading.Lock() for _ in range(size)]
+        self._barrier = threading.Barrier(size)
+        self.stats: list[CommStats] = [CommStats() for _ in range(size)]
+        self._bcast_store: dict[tuple[int, int], Any] = {}
+        self._collective_seq: list[int] = [0] * size
+
+    def comm(self, rank: int) -> "SimComm":
+        """Return the communicator endpoint for ``rank``."""
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range for size {self.size}")
+        return SimComm(rank, self)
+
+    def comms(self) -> list["SimComm"]:
+        """Return one endpoint per rank, in rank order."""
+        return [self.comm(r) for r in range(self.size)]
+
+    def total_stats(self) -> CommStats:
+        """Return the sum of all per-rank counters."""
+        total = CommStats()
+        for s in self.stats:
+            total = total.merge(s)
+        return total
+
+
+class SimComm:
+    """The per-rank endpoint of a :class:`SimCommWorld`.
+
+    The API mimics mpi4py's pickle-based methods; see the module docstring.
+    """
+
+    #: Default timeout (seconds) for blocking receives; generous but finite so a
+    #: protocol bug surfaces as an error instead of a hung test-suite.
+    RECV_TIMEOUT = 60.0
+
+    def __init__(self, rank: int, world: SimCommWorld) -> None:
+        self.rank = rank
+        self.world = world
+
+    @property
+    def size(self) -> int:
+        return self.world.size
+
+    @property
+    def stats(self) -> CommStats:
+        return self.world.stats[self.rank]
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Send ``obj`` to rank ``dest`` with ``tag`` (buffered, never blocks)."""
+        if not 0 <= dest < self.size:
+            raise ValueError(f"destination rank {dest} out of range")
+        self.stats.messages_sent += 1
+        self.stats.items_sent += _payload_items(obj)
+        self.world._mailboxes[dest].put(_Message(self.rank, tag, obj))
+
+    # mpi4py-compatible alias: buffered sends make isend identical to send here.
+    isend = send
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Receive one message matching ``(source, tag)``; blocks until available."""
+        matched = self._take_matching(source, tag)
+        self.stats.messages_received += 1
+        self.stats.items_received += _payload_items(matched.payload)
+        return matched.payload
+
+    def _take_matching(self, source: int, tag: int) -> _Message:
+        def matches(msg: _Message) -> bool:
+            return (source == ANY_SOURCE or msg.source == source) and (
+                tag == ANY_TAG or msg.tag == tag
+            )
+
+        pending = self.world._unmatched[self.rank]
+        for i, msg in enumerate(pending):
+            if matches(msg):
+                return pending.pop(i)
+        while True:
+            try:
+                msg = self.world._mailboxes[self.rank].get(timeout=self.RECV_TIMEOUT)
+            except queue.Empty:
+                raise TimeoutError(
+                    f"rank {self.rank}: no message matching source={source} tag={tag} "
+                    f"arrived within {self.RECV_TIMEOUT}s — likely a protocol deadlock"
+                ) from None
+            if matches(msg):
+                return msg
+            pending.append(msg)
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """Return ``True`` when a matching message is already buffered (non-blocking)."""
+        def matches(msg: _Message) -> bool:
+            return (source == ANY_SOURCE or msg.source == source) and (
+                tag == ANY_TAG or msg.tag == tag
+            )
+
+        pending = self.world._unmatched[self.rank]
+        if any(matches(m) for m in pending):
+            return True
+        # Drain the queue into the unmatched buffer without blocking.
+        while True:
+            try:
+                msg = self.world._mailboxes[self.rank].get_nowait()
+            except queue.Empty:
+                break
+            pending.append(msg)
+        return any(matches(m) for m in pending)
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        """Block until every rank reaches the barrier."""
+        self.stats.barriers += 1
+        self.world._barrier.wait()
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root`` to every rank; returns the object everywhere."""
+        self.stats.collectives += 1
+        if self.rank == root:
+            for dest in range(self.size):
+                if dest != root:
+                    self.send(obj, dest, tag=_BCAST_TAG)
+            return obj
+        return self.recv(source=root, tag=_BCAST_TAG)
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[list[Any]]:
+        """Gather one object per rank at ``root`` (rank order); other ranks get ``None``."""
+        self.stats.collectives += 1
+        if self.rank == root:
+            out: list[Any] = [None] * self.size
+            out[root] = obj
+            for _ in range(self.size - 1):
+                # Tag messages with GATHER and read sender from the message.
+                msg = self._take_matching(ANY_SOURCE, _GATHER_TAG)
+                self.stats.messages_received += 1
+                self.stats.items_received += _payload_items(msg.payload)
+                out[msg.source] = msg.payload
+            return out
+        self.send(obj, root, tag=_GATHER_TAG)
+        return None
+
+    def allgather(self, obj: Any) -> list[Any]:
+        """Gather one object per rank and broadcast the list back to everyone."""
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def reduce(self, obj: Any, op: Callable[[Any, Any], Any], root: int = 0) -> Optional[Any]:
+        """Reduce per-rank values at ``root`` with the binary operator ``op``."""
+        gathered = self.gather(obj, root=root)
+        if gathered is None:
+            return None
+        acc = gathered[0]
+        for item in gathered[1:]:
+            acc = op(acc, item)
+        return acc
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any]) -> Any:
+        """Reduce across all ranks and broadcast the result back."""
+        reduced = self.reduce(obj, op, root=0)
+        return self.bcast(reduced, root=0)
+
+    def scatter(self, objs: Optional[list[Any]], root: int = 0) -> Any:
+        """Scatter one list element per rank from ``root``."""
+        self.stats.collectives += 1
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError("root must supply exactly one object per rank")
+            for dest in range(self.size):
+                if dest != root:
+                    self.send(objs[dest], dest, tag=_SCATTER_TAG)
+            return objs[root]
+        return self.recv(source=root, tag=_SCATTER_TAG)
+
+
+_BCAST_TAG = -101
+_GATHER_TAG = -102
+_SCATTER_TAG = -103

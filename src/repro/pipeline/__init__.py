@@ -1,0 +1,62 @@
+"""Experiment pipeline: dataset preparation, filter analysis, per-figure drivers."""
+
+from .ablation import (
+    hub_retention_study,
+    mcode_threshold_sweep,
+    partitioner_ablation,
+    quasi_chordality_study,
+)
+from .experiments import (
+    ORDERING_LABELS,
+    border_edge_study,
+    clear_bundle_cache,
+    default_scale,
+    fig04_aees_by_ordering,
+    fig05_overlap_scatter,
+    fig06_node_overlap_vs_aees,
+    fig07_edge_overlap_vs_aees,
+    fig08_sensitivity_specificity,
+    fig09_cluster_refinement,
+    fig10_scalability,
+    fig11_parallel_consistency,
+    get_bundle,
+    random_walk_control,
+)
+from .report import format_kv, format_scatter, format_series, format_table
+from .workflow import (
+    DatasetBundle,
+    FilterAnalysis,
+    analyze_filter,
+    cluster_network,
+    prepare_dataset,
+)
+
+__all__ = [
+    "DatasetBundle",
+    "FilterAnalysis",
+    "prepare_dataset",
+    "analyze_filter",
+    "cluster_network",
+    "get_bundle",
+    "clear_bundle_cache",
+    "default_scale",
+    "ORDERING_LABELS",
+    "fig04_aees_by_ordering",
+    "fig05_overlap_scatter",
+    "fig06_node_overlap_vs_aees",
+    "fig07_edge_overlap_vs_aees",
+    "fig08_sensitivity_specificity",
+    "fig09_cluster_refinement",
+    "fig10_scalability",
+    "fig11_parallel_consistency",
+    "random_walk_control",
+    "border_edge_study",
+    "format_table",
+    "format_series",
+    "format_scatter",
+    "format_kv",
+    "mcode_threshold_sweep",
+    "partitioner_ablation",
+    "hub_retention_study",
+    "quasi_chordality_study",
+]

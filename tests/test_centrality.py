@@ -1,0 +1,119 @@
+"""Unit tests for the centrality measures and hub-retention helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    betweenness_centrality,
+    centrality_spearman,
+    closeness_centrality,
+    complete_graph,
+    degree_centrality,
+    hub_retention,
+    path_graph,
+    star_graph,
+    top_k_vertices,
+)
+
+
+class TestDegreeCentrality:
+    def test_star_hub_is_one(self):
+        g = star_graph(5)
+        c = degree_centrality(g)
+        assert c["v0"] == pytest.approx(1.0)
+        assert c["v1"] == pytest.approx(0.2)
+
+    def test_complete_graph_all_ones(self):
+        c = degree_centrality(complete_graph(6))
+        assert all(v == pytest.approx(1.0) for v in c.values())
+
+    def test_tiny_graphs(self):
+        assert degree_centrality(Graph()) == {}
+        g = Graph(vertices=["a"])
+        assert degree_centrality(g) == {"a": 0.0}
+
+
+class TestClosenessCentrality:
+    def test_path_center_highest(self):
+        g = path_graph(5)
+        c = closeness_centrality(g)
+        assert c["v2"] > c["v0"]
+        assert c["v2"] > c["v4"]
+
+    def test_complete_graph_value(self):
+        c = closeness_centrality(complete_graph(4))
+        assert all(v == pytest.approx(1.0) for v in c.values())
+
+    def test_isolated_vertex_zero(self):
+        g = path_graph(3)
+        g.add_vertex("alone")
+        assert closeness_centrality(g)["alone"] == 0.0
+
+    def test_wf_correction_penalises_small_components(self):
+        g = Graph(edges=[("a", "b"), ("c", "d"), ("d", "e"), ("e", "f")])
+        corrected = closeness_centrality(g, wf_improved=True)
+        uncorrected = closeness_centrality(g, wf_improved=False)
+        # "a" sits in a 2-vertex component: correction must lower its score
+        assert corrected["a"] < uncorrected["a"]
+
+
+class TestBetweennessCentrality:
+    def test_path_middle_vertex(self):
+        g = path_graph(3)
+        b = betweenness_centrality(g, normalized=True)
+        assert b["v1"] == pytest.approx(1.0)
+        assert b["v0"] == pytest.approx(0.0)
+
+    def test_star_hub_carries_all_paths(self):
+        g = star_graph(4)
+        b = betweenness_centrality(g, normalized=True)
+        assert b["v0"] == pytest.approx(1.0)
+        assert all(b[f"v{i}"] == pytest.approx(0.0) for i in range(1, 5))
+
+    def test_complete_graph_zero(self):
+        b = betweenness_centrality(complete_graph(5))
+        assert all(v == pytest.approx(0.0) for v in b.values())
+
+    def test_unnormalized_path(self):
+        g = path_graph(4)
+        b = betweenness_centrality(g, normalized=False)
+        # v1 lies on the v0-v2, v0-v3 shortest paths => 2 pairs
+        assert b["v1"] == pytest.approx(2.0)
+
+
+class TestHubHelpers:
+    def test_top_k(self):
+        c = {"a": 0.9, "b": 0.5, "c": 0.9, "d": 0.1}
+        assert top_k_vertices(c, 2) == ["a", "c"]
+        assert top_k_vertices(c, 0) == []
+        with pytest.raises(ValueError):
+            top_k_vertices(c, -1)
+
+    def test_hub_retention_identity(self):
+        g = star_graph(8)
+        assert hub_retention(g, g, k=3) == 1.0
+
+    def test_hub_retention_drops_when_hub_stripped(self):
+        g = star_graph(8)
+        stripped = g.spanning_subgraph([("v1", "v0")])  # hub keeps only one edge
+        retention = hub_retention(g, stripped, k=1, measure="degree")
+        assert retention in (0.0, 1.0)  # deterministic given tie-break
+        with pytest.raises(KeyError):
+            hub_retention(g, stripped, measure="pagerank")
+        with pytest.raises(ValueError):
+            hub_retention(g, stripped, k=0)
+
+    def test_centrality_spearman_identity(self):
+        g = path_graph(8)
+        assert centrality_spearman(g, g, measure="degree") == pytest.approx(1.0)
+
+    def test_centrality_spearman_constant_ranking(self):
+        g = complete_graph(4)
+        assert centrality_spearman(g, g, measure="degree") == 0.0
+
+    def test_centrality_spearman_unknown_measure(self):
+        g = path_graph(4)
+        with pytest.raises(KeyError):
+            centrality_spearman(g, g, measure="katz")

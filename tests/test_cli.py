@@ -1,0 +1,82 @@
+"""Tests for the command-line interface (invoked in-process via main())."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.pipeline import experiments as exp
+
+SCALE = "0.02"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_cache():
+    exp.clear_bundle_cache()
+    yield
+    exp.clear_bundle_cache()
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_filter_defaults(self):
+        args = build_parser().parse_args(["filter"])
+        assert args.dataset == "CRE"
+        assert args.method == "chordal"
+        assert args.partitions == 1
+
+
+class TestCommands:
+    def test_datasets_command(self, capsys):
+        assert main(["datasets", "--scale", SCALE]) == 0
+        out = capsys.readouterr().out
+        for name in ("YNG", "MID", "UNT", "CRE"):
+            assert name in out
+
+    def test_filter_command_writes_edge_list(self, capsys, tmp_path):
+        output = tmp_path / "filtered.tsv"
+        code = main([
+            "filter", "--dataset", "YNG", "--scale", SCALE,
+            "--method", "chordal", "--ordering", "high_degree",
+            "--partitions", "4", "--output", str(output),
+        ])
+        assert code == 0
+        assert output.exists()
+        out = capsys.readouterr().out
+        assert "edges_kept" in out
+
+    def test_filter_command_random_walk(self, capsys):
+        assert main(["filter", "--dataset", "YNG", "--scale", SCALE, "--method", "random_walk"]) == 0
+        assert "random_walk" in capsys.readouterr().out
+
+    def test_analyze_command(self, capsys):
+        code = main([
+            "analyze", "--dataset", "CRE", "--scale", SCALE,
+            "--method", "chordal", "--ordering", "natural", "--partitions", "2", "--top", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "clusters" in out
+        assert "aees" in out
+
+    def test_figure_command_fig08(self, capsys):
+        assert main(["figure", "fig08", "--scale", SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "sensitivity" in out
+
+    def test_figure_command_fig10(self, capsys):
+        assert main(["figure", "fig10", "--scale", SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "processors" in out
+
+    def test_figure_command_random_walk_control(self, capsys):
+        assert main(["figure", "random-walk-control", "--scale", SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "random_walk_clusters" in out

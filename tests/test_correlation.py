@@ -1,0 +1,141 @@
+"""Unit tests for Pearson correlation networks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.expression import (
+    CorrelationThreshold,
+    ExpressionMatrix,
+    build_correlation_network,
+    correlated_pairs,
+    correlation_p_value,
+    critical_correlation,
+    pearson_correlation_matrix,
+)
+
+
+def toy_matrix() -> ExpressionMatrix:
+    rng = np.random.default_rng(0)
+    base = rng.standard_normal(12)
+    values = np.vstack(
+        [
+            base,
+            base + rng.standard_normal(12) * 0.05,   # tightly correlated with base
+            -base,                                     # perfectly anti-correlated
+            rng.standard_normal(12),                   # independent
+            np.ones(12) * 3.0,                         # flat (zero variance)
+        ]
+    )
+    return ExpressionMatrix(
+        values=values,
+        genes=["a", "a_twin", "anti", "noise", "flat"],
+        samples=[f"s{i}" for i in range(12)],
+    )
+
+
+class TestCorrelationMatrix:
+    def test_diagonal_is_one(self):
+        corr = pearson_correlation_matrix(toy_matrix())
+        assert np.allclose(np.diag(corr), 1.0)
+
+    def test_symmetry(self):
+        corr = pearson_correlation_matrix(toy_matrix())
+        assert np.allclose(corr, corr.T)
+
+    def test_known_relationships(self):
+        m = toy_matrix()
+        corr = pearson_correlation_matrix(m)
+        assert corr[0, 1] > 0.95
+        assert corr[0, 2] == pytest.approx(-1.0, abs=1e-9)
+        assert abs(corr[0, 3]) < 0.9
+
+    def test_flat_gene_has_zero_correlation(self):
+        corr = pearson_correlation_matrix(toy_matrix())
+        assert np.allclose(corr[4, :4], 0.0)
+
+    def test_matches_numpy_corrcoef(self):
+        m = toy_matrix()
+        ours = pearson_correlation_matrix(m)
+        ref = np.corrcoef(m.values[:4])
+        assert np.allclose(ours[:4, :4], ref, atol=1e-9)
+
+
+class TestPValues:
+    def test_perfect_correlation_p_zero(self):
+        assert correlation_p_value(1.0, 10) == 0.0
+
+    def test_zero_correlation_p_one(self):
+        assert correlation_p_value(0.0, 10) == pytest.approx(1.0)
+
+    def test_monotone_in_rho(self):
+        assert correlation_p_value(0.9, 10) < correlation_p_value(0.5, 10)
+
+    def test_monotone_in_samples(self):
+        assert correlation_p_value(0.7, 30) < correlation_p_value(0.7, 5)
+
+    def test_too_few_samples(self):
+        assert correlation_p_value(0.99, 2) == 1.0
+
+    def test_critical_correlation_consistency(self):
+        r = critical_correlation(0.0005, 10)
+        assert correlation_p_value(r, 10) == pytest.approx(0.0005, rel=1e-3)
+        assert correlation_p_value(r - 0.02, 10) > 0.0005
+
+    def test_critical_correlation_validation(self):
+        with pytest.raises(ValueError):
+            critical_correlation(0.0, 10)
+        assert critical_correlation(0.01, 2) == 1.0
+
+
+class TestThreshold:
+    def test_default_admits_only_high_positive(self):
+        t = CorrelationThreshold()
+        assert t.admits(0.99, 12)
+        assert not t.admits(0.7, 12)
+        assert not t.admits(-0.99, 12)
+
+    def test_include_negative(self):
+        t = CorrelationThreshold(include_negative=True)
+        assert t.admits(-0.99, 12)
+
+    def test_effective_cutoff_binds_to_p_value_for_tiny_samples(self):
+        t = CorrelationThreshold(min_abs_rho=0.5, max_p_value=0.0005)
+        assert t.effective_cutoff(6) > 0.5
+
+
+class TestNetworkConstruction:
+    def test_correlated_pairs_found(self):
+        pairs = correlated_pairs(toy_matrix())
+        names = {(a, b) for a, b, _ in pairs}
+        assert ("a", "a_twin") in names
+        assert all(rho >= 0.95 for _, _, rho in pairs)
+
+    def test_negative_pairs_excluded_by_default(self):
+        pairs = correlated_pairs(toy_matrix())
+        assert ("a", "anti") not in {(a, b) for a, b, _ in pairs}
+
+    def test_negative_pairs_included_when_requested(self):
+        pairs = correlated_pairs(toy_matrix(), threshold=CorrelationThreshold(include_negative=True))
+        assert ("a", "anti") in {(a, b) for a, b, _ in pairs}
+
+    def test_blocked_computation_matches_unblocked(self):
+        m = toy_matrix()
+        small_blocks = correlated_pairs(m, block_size=2)
+        one_block = correlated_pairs(m, block_size=1024)
+        assert sorted(small_blocks) == sorted(one_block)
+
+    def test_build_network_vertices_and_attributes(self):
+        net = build_correlation_network(toy_matrix())
+        assert net.n_vertices == 5  # include_all_genes default
+        assert net.has_edge("a", "a_twin")
+        assert net.edge_attr("a", "a_twin", "rho") >= 0.95
+
+    def test_build_network_without_isolated_genes(self):
+        net = build_correlation_network(toy_matrix(), include_all_genes=False)
+        assert not net.has_vertex("flat")
+
+    def test_single_sample_matrix_yields_empty_network(self):
+        m = ExpressionMatrix(np.zeros((3, 1)), genes=["a", "b", "c"], samples=["s"])
+        assert build_correlation_network(m).n_edges == 0

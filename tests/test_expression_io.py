@@ -1,0 +1,69 @@
+"""Unit tests for expression-matrix TSV I/O."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.expression import ExpressionMatrix, read_expression_tsv, write_expression_tsv
+
+
+def make_matrix(with_conditions: bool = True) -> ExpressionMatrix:
+    return ExpressionMatrix(
+        values=np.array([[1.5, 2.0, 3.25], [0.1, 0.2, 0.3]]),
+        genes=["geneA", "geneB"],
+        samples=["s1", "s2", "s3"],
+        conditions=["YNG", "YNG", "MID"] if with_conditions else None,
+    )
+
+
+class TestRoundtrip:
+    def test_file_roundtrip(self, tmp_path):
+        m = make_matrix()
+        path = tmp_path / "expr.tsv"
+        write_expression_tsv(m, path)
+        back = read_expression_tsv(path)
+        assert back.genes == m.genes
+        assert back.samples == m.samples
+        assert back.conditions == m.conditions
+        assert np.allclose(back.values, m.values)
+
+    def test_stream_roundtrip_without_conditions(self):
+        m = make_matrix(with_conditions=False)
+        buf = io.StringIO()
+        write_expression_tsv(m, buf)
+        back = read_expression_tsv(io.StringIO(buf.getvalue()))
+        assert back.conditions is None
+        assert np.allclose(back.values, m.values)
+
+    def test_conditions_can_be_omitted_on_write(self):
+        m = make_matrix()
+        buf = io.StringIO()
+        write_expression_tsv(m, buf, include_conditions=False)
+        assert "#condition" not in buf.getvalue()
+
+
+class TestErrors:
+    def test_empty_file(self):
+        with pytest.raises(ValueError):
+            read_expression_tsv(io.StringIO(""))
+
+    def test_missing_gene_header(self):
+        with pytest.raises(ValueError):
+            read_expression_tsv(io.StringIO("s1\ts2\n"))
+
+    def test_wrong_column_count(self):
+        text = "gene\ts1\ts2\ngeneA\t1.0\n"
+        with pytest.raises(ValueError):
+            read_expression_tsv(io.StringIO(text))
+
+    def test_no_gene_rows(self):
+        with pytest.raises(ValueError):
+            read_expression_tsv(io.StringIO("gene\ts1\ts2\n"))
+
+    def test_comment_lines_ignored(self):
+        text = "gene\ts1\ts2\n# a comment\ngeneA\t1.0\t2.0\n\n"
+        m = read_expression_tsv(io.StringIO(text))
+        assert m.genes == ["geneA"]

@@ -1,0 +1,160 @@
+"""Unit tests for the GO-like DAG."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ontology import GODag
+
+
+def make_dag() -> GODag:
+    """A small hand-built DAG:
+
+        ROOT
+        ├── bio (B)
+        │   ├── metab (M)
+        │   │   └── glycolysis (G)
+        │   └── signaling (S)
+        └── other (O)
+            └── transport (T) — also child of signaling (two parents)
+    """
+    dag = GODag()
+    dag.add_term("B", [dag.root_id], name="biological regulation")
+    dag.add_term("O", [dag.root_id], name="other")
+    dag.add_term("M", ["B"], name="metabolic process")
+    dag.add_term("S", ["B"], name="signaling")
+    dag.add_term("G", ["M"], name="glycolysis")
+    dag.add_term("T", ["O"], name="transport")
+    dag.add_parent("T", "S")
+    return dag
+
+
+class TestConstruction:
+    def test_root_exists(self):
+        dag = GODag()
+        assert dag.root_id in dag
+        assert dag.depth(dag.root_id) == 0
+        assert len(dag) == 1
+
+    def test_add_term_requires_existing_parent(self):
+        dag = GODag()
+        with pytest.raises(KeyError):
+            dag.add_term("X", ["missing"])
+
+    def test_add_term_requires_some_parent(self):
+        dag = GODag()
+        with pytest.raises(ValueError):
+            dag.add_term("X", [])
+
+    def test_duplicate_term_rejected(self):
+        dag = make_dag()
+        with pytest.raises(ValueError):
+            dag.add_term("B", [dag.root_id])
+
+    def test_add_parent_cycle_rejected(self):
+        dag = make_dag()
+        with pytest.raises(ValueError):
+            dag.add_parent("B", "G")  # G is a descendant of B
+
+    def test_add_parent_idempotent(self):
+        dag = make_dag()
+        dag.add_parent("T", "S")
+        assert dag.parents("T").count("S") == 1
+
+    def test_validate_passes(self):
+        make_dag().validate()
+
+
+class TestDepthAndAncestry:
+    def test_depths(self):
+        dag = make_dag()
+        assert dag.depth("B") == 1
+        assert dag.depth("M") == 2
+        assert dag.depth("G") == 3
+        assert dag.max_depth() == 3
+
+    def test_multi_parent_depth_is_longest_path(self):
+        dag = make_dag()
+        # T has parents O (depth 1) and S (depth 2) -> depth 3
+        assert dag.depth("T") == 3
+
+    def test_ancestors(self):
+        dag = make_dag()
+        assert dag.ancestors("G") == frozenset({"G", "M", "B", dag.root_id})
+        assert dag.ancestors("G", include_self=False) == frozenset({"M", "B", dag.root_id})
+
+    def test_ancestors_multi_parent(self):
+        dag = make_dag()
+        anc = dag.ancestors("T")
+        assert {"O", "S", "B", dag.root_id} <= anc
+
+    def test_unknown_term_raises(self):
+        dag = make_dag()
+        with pytest.raises(KeyError):
+            dag.depth("nope")
+        with pytest.raises(KeyError):
+            dag.ancestors("nope")
+
+    def test_subtree(self):
+        dag = make_dag()
+        assert dag.subtree("B") == {"B", "M", "S", "G", "T"}
+        assert dag.subtree("G") == {"G"}
+
+    def test_is_leaf_and_children(self):
+        dag = make_dag()
+        assert dag.is_leaf("G")
+        assert not dag.is_leaf("B")
+        assert set(dag.children("B")) == {"M", "S"}
+
+
+class TestDeepestCommonParent:
+    def test_siblings(self):
+        dag = make_dag()
+        assert dag.deepest_common_parent("M", "S") == "B"
+
+    def test_ancestor_descendant_pair(self):
+        dag = make_dag()
+        assert dag.deepest_common_parent("M", "G") == "M"
+
+    def test_same_term(self):
+        dag = make_dag()
+        assert dag.deepest_common_parent("G", "G") == "G"
+
+    def test_unrelated_terms_meet_at_root_or_shared_parent(self):
+        dag = make_dag()
+        assert dag.deepest_common_parent("G", "O") == dag.root_id
+
+    def test_multi_parent_gives_deeper_dcp(self):
+        dag = make_dag()
+        # T and G share ancestor B (depth 1) through the S parent, deeper than ROOT
+        assert dag.deepest_common_parent("T", "G") == "B"
+
+
+class TestDistances:
+    def test_distance_zero_for_same_term(self):
+        dag = make_dag()
+        assert dag.term_distance("M", "M") == 0
+
+    def test_sibling_distance(self):
+        dag = make_dag()
+        assert dag.term_distance("M", "S") == 2
+
+    def test_parent_child_distance(self):
+        dag = make_dag()
+        assert dag.term_distance("M", "G") == 1
+
+    def test_distance_symmetric(self):
+        dag = make_dag()
+        assert dag.term_distance("G", "T") == dag.term_distance("T", "G")
+
+    def test_distance_uses_cross_links(self):
+        dag = make_dag()
+        # T-S edge makes the S↔T distance 1 even though their tree paths are longer
+        assert dag.term_distance("S", "T") == 1
+
+    def test_path_to_root(self):
+        dag = make_dag()
+        path = dag.path_to_root("G")
+        assert path[0] == "G"
+        assert path[-1] == dag.root_id
+        assert len(path) == 4

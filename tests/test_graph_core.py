@@ -1,0 +1,221 @@
+"""Unit tests for the Graph data structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import Graph, edge_key
+
+
+class TestEdgeKey:
+    def test_orders_endpoints(self):
+        assert edge_key("b", "a") == ("a", "b")
+        assert edge_key(2, 1) == (1, 2)
+
+    def test_mixed_types_are_deterministic(self):
+        assert edge_key("x", 1) == edge_key(1, "x")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            edge_key("a", "a")
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph()
+        assert g.n_vertices == 0
+        assert g.n_edges == 0
+        assert g.vertices() == []
+        assert g.edges() == []
+
+    def test_add_vertex_idempotent(self):
+        g = Graph()
+        g.add_vertex("a")
+        g.add_vertex("a")
+        assert g.n_vertices == 1
+
+    def test_add_edge_creates_endpoints(self):
+        g = Graph()
+        g.add_edge("a", "b")
+        assert g.has_vertex("a") and g.has_vertex("b")
+        assert g.has_edge("a", "b") and g.has_edge("b", "a")
+        assert g.n_edges == 1
+
+    def test_add_edge_idempotent(self):
+        g = Graph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        assert g.n_edges == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge("a", "a")
+
+    def test_constructor_with_edges_and_vertices(self):
+        g = Graph(edges=[("a", "b"), ("b", "c")], vertices=["z"])
+        assert g.vertices()[0] == "z"
+        assert g.n_edges == 2
+
+    def test_insertion_order_preserved(self):
+        g = Graph(vertices=["c", "a", "b"])
+        assert g.vertices() == ["c", "a", "b"]
+
+
+class TestRemoval:
+    def test_remove_edge(self):
+        g = Graph(edges=[("a", "b")])
+        g.remove_edge("a", "b")
+        assert not g.has_edge("a", "b")
+        assert g.n_edges == 0
+        assert g.has_vertex("a")
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph(edges=[("a", "b")])
+        with pytest.raises(KeyError):
+            g.remove_edge("a", "c")
+
+    def test_discard_edge(self):
+        g = Graph(edges=[("a", "b")])
+        assert g.discard_edge("a", "b") is True
+        assert g.discard_edge("a", "b") is False
+
+    def test_remove_vertex_removes_incident_edges(self):
+        g = Graph(edges=[("a", "b"), ("a", "c"), ("b", "c")])
+        g.remove_vertex("a")
+        assert not g.has_vertex("a")
+        assert g.n_edges == 1
+        assert g.has_edge("b", "c")
+
+    def test_remove_missing_vertex_raises(self):
+        with pytest.raises(KeyError):
+            Graph().remove_vertex("x")
+
+
+class TestQueries:
+    def test_degree_and_neighbors(self):
+        g = Graph(edges=[("a", "b"), ("a", "c")])
+        assert g.degree("a") == 2
+        assert g.degree("b") == 1
+        assert set(g.neighbors("a")) == {"b", "c"}
+        assert g.neighbor_set("a") == {"b", "c"}
+
+    def test_degrees_and_max_degree(self):
+        g = Graph(edges=[("a", "b"), ("a", "c"), ("a", "d")])
+        assert g.degrees() == {"a": 3, "b": 1, "c": 1, "d": 1}
+        assert g.max_degree() == 3
+        assert Graph().max_degree() == 0
+
+    def test_edges_listed_once(self):
+        g = Graph(edges=[("a", "b"), ("b", "c"), ("c", "a")])
+        assert len(g.edges()) == 3
+        assert len(set(g.edges())) == 3
+
+    def test_density(self):
+        g = Graph(edges=[("a", "b"), ("b", "c"), ("c", "a")])
+        assert g.density() == pytest.approx(1.0)
+        assert Graph().density() == 0.0
+
+    def test_contains_len_iter(self):
+        g = Graph(edges=[("a", "b")])
+        assert "a" in g
+        assert len(g) == 2
+        assert list(iter(g)) == ["a", "b"]
+
+    def test_equality_ignores_order(self):
+        g1 = Graph(edges=[("a", "b"), ("b", "c")])
+        g2 = Graph(edges=[("b", "c"), ("a", "b")])
+        assert g1 == g2
+
+    def test_graphs_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Graph())
+
+
+class TestEdgeAttributes:
+    def test_attr_roundtrip(self):
+        g = Graph()
+        g.add_edge("a", "b", rho=0.97)
+        assert g.edge_attr("a", "b", "rho") == pytest.approx(0.97)
+        assert g.edge_attr("b", "a", "rho") == pytest.approx(0.97)
+        assert g.edge_attr("a", "b", "missing", default=-1) == -1
+
+    def test_set_edge_attr_requires_edge(self):
+        g = Graph(edges=[("a", "b")])
+        g.set_edge_attr("a", "b", "w", 2)
+        assert g.edge_attrs("a", "b") == {"w": 2}
+        with pytest.raises(KeyError):
+            g.set_edge_attr("a", "c", "w", 2)
+
+    def test_attrs_survive_subgraph(self):
+        g = Graph()
+        g.add_edge("a", "b", rho=0.99)
+        g.add_edge("b", "c", rho=0.96)
+        sub = g.subgraph(["a", "b"])
+        assert sub.edge_attr("a", "b", "rho") == pytest.approx(0.99)
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        g = Graph(edges=[("a", "b")])
+        c = g.copy()
+        c.add_edge("b", "c")
+        assert g.n_edges == 1
+        assert c.n_edges == 2
+
+    def test_subgraph_induced(self):
+        g = Graph(edges=[("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")])
+        sub = g.subgraph(["a", "b", "c"])
+        assert sub.n_vertices == 3
+        assert sub.n_edges == 3
+        assert not sub.has_vertex("d")
+
+    def test_subgraph_ignores_unknown_vertices(self):
+        g = Graph(edges=[("a", "b")])
+        sub = g.subgraph(["a", "zzz"])
+        assert sub.vertices() == ["a"]
+
+    def test_edge_subgraph(self):
+        g = Graph(edges=[("a", "b"), ("b", "c"), ("c", "a")])
+        sub = g.edge_subgraph([("a", "b"), ("x", "y")])
+        assert sub.n_edges == 1
+        assert sub.n_vertices == 2
+
+    def test_spanning_subgraph_keeps_all_vertices(self):
+        g = Graph(edges=[("a", "b"), ("b", "c")])
+        sub = g.spanning_subgraph([("a", "b")])
+        assert sub.n_vertices == 3
+        assert sub.n_edges == 1
+        assert sub.degree("c") == 0
+
+    def test_relabeled(self):
+        g = Graph(edges=[("a", "b")])
+        r = g.relabeled({"a": "x"})
+        assert r.has_edge("x", "b")
+        assert not r.has_vertex("a")
+
+    def test_relabeled_requires_injective_mapping(self):
+        g = Graph(edges=[("a", "b")])
+        with pytest.raises(ValueError):
+            g.relabeled({"a": "b"})
+
+
+class TestInterop:
+    def test_networkx_roundtrip(self):
+        g = Graph()
+        g.add_edge("a", "b", rho=0.99)
+        g.add_vertex("isolated")
+        nxg = g.to_networkx()
+        back = Graph.from_networkx(nxg)
+        assert back == g
+        assert back.edge_attr("a", "b", "rho") == pytest.approx(0.99)
+
+    def test_from_edge_list(self):
+        g = Graph.from_edge_list([("a", "b"), ("b", "c")])
+        assert g.n_edges == 2
+
+    def test_adjacency_lists(self):
+        g = Graph(edges=[("a", "b"), ("a", "c")])
+        adj = g.adjacency_lists()
+        assert adj["a"] == ["b", "c"]
+        assert adj["b"] == ["a"]

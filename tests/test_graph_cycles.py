@@ -1,0 +1,137 @@
+"""Unit tests for triangle/cycle utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    average_clustering,
+    break_cycles,
+    complete_graph,
+    count_triangles,
+    cycle_basis_sizes,
+    cycle_graph,
+    edge_in_triangle,
+    find_chordless_cycle,
+    has_cycle,
+    local_clustering,
+    path_graph,
+    triangles_of_edge,
+)
+from repro.graph.cycles import girth_at_least
+
+
+class TestTriangles:
+    def test_triangle_count_k4(self):
+        assert count_triangles(complete_graph(4)) == 4
+
+    def test_triangle_count_k5(self):
+        assert count_triangles(complete_graph(5)) == 10
+
+    def test_no_triangles_in_cycle4(self):
+        assert count_triangles(cycle_graph(4)) == 0
+
+    def test_no_triangles_in_path(self):
+        assert count_triangles(path_graph(6)) == 0
+
+    def test_triangles_of_edge(self):
+        g = complete_graph(4)
+        others = triangles_of_edge(g, "v0", "v1")
+        assert set(others) == {"v2", "v3"}
+
+    def test_triangles_of_missing_edge(self):
+        g = cycle_graph(4)
+        assert triangles_of_edge(g, "v0", "v2") == []
+
+    def test_edge_in_triangle(self):
+        g = Graph(edges=[("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")])
+        assert edge_in_triangle(g, "a", "b")
+        assert not edge_in_triangle(g, "c", "d")
+
+
+class TestClustering:
+    def test_clique_clustering_is_one(self):
+        g = complete_graph(5)
+        assert local_clustering(g, "v0") == pytest.approx(1.0)
+        assert average_clustering(g) == pytest.approx(1.0)
+
+    def test_path_clustering_is_zero(self):
+        assert average_clustering(path_graph(5)) == 0.0
+
+    def test_low_degree_vertex_clustering_zero(self):
+        g = path_graph(3)
+        assert local_clustering(g, "v0") == 0.0
+
+    def test_empty_graph(self):
+        assert average_clustering(Graph()) == 0.0
+
+
+class TestCycles:
+    def test_tree_has_no_cycle(self):
+        assert not has_cycle(path_graph(6))
+
+    def test_cycle_detected(self):
+        assert has_cycle(cycle_graph(5))
+
+    def test_cycle_basis_sizes_cycle(self):
+        assert cycle_basis_sizes(cycle_graph(7)) == [7]
+
+    def test_cycle_basis_sizes_tree_empty(self):
+        assert cycle_basis_sizes(path_graph(5)) == []
+
+    def test_cycle_basis_count_matches_formula(self):
+        g = complete_graph(5)
+        # |cycles in basis| = E - V + components
+        assert len(cycle_basis_sizes(g)) == g.n_edges - g.n_vertices + 1
+
+    def test_girth_at_least(self):
+        assert girth_at_least(cycle_graph(6), 6)
+        assert not girth_at_least(cycle_graph(4), 5)
+        assert girth_at_least(path_graph(4), 10)
+
+
+class TestChordlessCycles:
+    def test_square_is_chordless(self):
+        cycle = find_chordless_cycle(cycle_graph(4))
+        assert cycle is not None
+        assert len(cycle) == 4
+
+    def test_complete_graph_has_none(self):
+        assert find_chordless_cycle(complete_graph(6)) is None
+
+    def test_long_cycle_found(self):
+        cycle = find_chordless_cycle(cycle_graph(8))
+        assert cycle is not None
+        assert len(cycle) == 8
+
+    def test_chorded_cycle_reduced(self):
+        g = cycle_graph(6)
+        g.add_edge("v0", "v3")  # chord splits C6 into two C4s
+        cycle = find_chordless_cycle(g)
+        assert cycle is not None
+        assert len(cycle) == 4
+
+    def test_min_length_validation(self):
+        with pytest.raises(ValueError):
+            find_chordless_cycle(cycle_graph(5), min_length=3)
+
+
+class TestBreakCycles:
+    def test_result_is_forest(self):
+        g = complete_graph(5)
+        forest, removed = break_cycles(g)
+        assert not has_cycle(forest)
+        assert forest.n_edges + len(removed) == g.n_edges
+
+    def test_tree_unchanged(self):
+        g = path_graph(5)
+        forest, removed = break_cycles(g)
+        assert removed == []
+        assert forest == g
+
+    def test_protected_edges_kept_when_possible(self):
+        g = cycle_graph(4)
+        protected = [("v0", "v1"), ("v1", "v2"), ("v2", "v3")]
+        forest, removed = break_cycles(g, protected=protected)
+        assert removed == [("v0", "v3")]

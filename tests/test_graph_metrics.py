@@ -1,0 +1,97 @@
+"""Unit tests for the structural metric helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    GraphSummary,
+    compare_summaries,
+    complete_graph,
+    component_size_distribution,
+    degree_histogram,
+    degree_statistics,
+    edge_retention,
+    path_graph,
+    star_graph,
+    summarize_graph,
+    vertex_coverage,
+)
+from repro.graph.metrics import average_path_length_sampled
+
+
+class TestDegreeMetrics:
+    def test_degree_histogram_star(self):
+        hist = degree_histogram(star_graph(5))
+        assert hist == {5: 1, 1: 5}
+
+    def test_degree_statistics(self):
+        stats = degree_statistics(complete_graph(4))
+        assert stats["mean"] == pytest.approx(3.0)
+        assert stats["max"] == 3
+        assert stats["variance"] == pytest.approx(0.0)
+
+    def test_empty_graph_statistics(self):
+        stats = degree_statistics(Graph())
+        assert stats["mean"] == 0.0
+
+
+class TestComponentsAndRetention:
+    def test_component_size_distribution(self):
+        g = Graph(edges=[("a", "b"), ("c", "d"), ("d", "e")])
+        assert component_size_distribution(g) == [3, 2]
+
+    def test_edge_retention(self):
+        original = complete_graph(4)
+        sampled = original.spanning_subgraph(list(original.iter_edges())[:3])
+        assert edge_retention(original, sampled) == pytest.approx(0.5)
+
+    def test_edge_retention_empty_original(self):
+        assert edge_retention(Graph(), Graph()) == 1.0
+
+    def test_vertex_coverage(self):
+        original = path_graph(4)
+        sampled = original.spanning_subgraph([("v0", "v1")])
+        assert vertex_coverage(original, sampled) == pytest.approx(0.5)
+
+    def test_average_path_length_path_graph(self):
+        g = path_graph(5)
+        apl = average_path_length_sampled(g, n_sources=5, seed=0)
+        assert apl > 0
+        assert apl < 4
+
+    def test_average_path_length_tiny_graph(self):
+        assert average_path_length_sampled(Graph()) == 0.0
+
+
+class TestSummaries:
+    def test_summary_fields(self):
+        summary = summarize_graph(complete_graph(5))
+        assert isinstance(summary, GraphSummary)
+        assert summary.n_vertices == 5
+        assert summary.n_edges == 10
+        assert summary.n_triangles == 10
+        assert summary.avg_clustering == pytest.approx(1.0)
+        assert summary.n_components == 1
+
+    def test_summary_as_dict_roundtrip(self):
+        summary = summarize_graph(path_graph(4))
+        d = summary.as_dict()
+        assert d["n_edges"] == 3
+        assert d["n_triangles"] == 0
+
+    def test_compare_summaries_ratios(self):
+        original = summarize_graph(complete_graph(4))
+        sampled = summarize_graph(path_graph(4))
+        ratios = compare_summaries(original, sampled)
+        assert ratios["n_vertices"] == pytest.approx(1.0)
+        assert ratios["n_edges"] == pytest.approx(0.5)
+
+    def test_compare_summaries_handles_zero_original(self):
+        a = summarize_graph(path_graph(3))  # no triangles
+        b = summarize_graph(complete_graph(3))
+        ratios = compare_summaries(a, b)
+        assert ratios["n_triangles"] == float("inf")
+        same = compare_summaries(a, a)
+        assert same["n_triangles"] == 1.0

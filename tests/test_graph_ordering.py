@@ -1,0 +1,125 @@
+"""Unit tests for the vertex orderings (natural, degree-based, RCM)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    get_ordering,
+    high_degree_order,
+    low_degree_order,
+    natural_order,
+    ordering_names,
+    path_graph,
+    permute_graph,
+    random_order,
+    rcm_order,
+    reverse_order,
+    star_graph,
+)
+from repro.graph.ordering import is_permutation_of_vertices
+
+
+@pytest.fixture
+def sample_graph() -> Graph:
+    g = Graph(edges=[("hub", "a"), ("hub", "b"), ("hub", "c"), ("a", "b"), ("d", "e")])
+    g.add_vertex("isolated")
+    return g
+
+
+class TestBasicOrderings:
+    def test_every_ordering_is_a_permutation(self, sample_graph):
+        for name in ordering_names():
+            order = get_ordering(name)(sample_graph)
+            assert is_permutation_of_vertices(sample_graph, order), name
+
+    def test_natural_order_matches_insertion(self, sample_graph):
+        assert natural_order(sample_graph) == sample_graph.vertices()
+
+    def test_high_degree_puts_hub_first(self, sample_graph):
+        assert high_degree_order(sample_graph)[0] == "hub"
+
+    def test_low_degree_puts_isolated_first(self, sample_graph):
+        assert low_degree_order(sample_graph)[0] == "isolated"
+
+    def test_high_and_low_are_reversed_degree_ranks(self, sample_graph):
+        high = high_degree_order(sample_graph)
+        low = low_degree_order(sample_graph)
+        deg_high = [sample_graph.degree(v) for v in high]
+        deg_low = [sample_graph.degree(v) for v in low]
+        assert deg_high == sorted(deg_high, reverse=True)
+        assert deg_low == sorted(deg_low)
+
+    def test_reverse_order(self, sample_graph):
+        assert reverse_order(sample_graph) == list(reversed(sample_graph.vertices()))
+
+    def test_random_order_is_seeded(self, sample_graph):
+        assert random_order(sample_graph, seed=1) == random_order(sample_graph, seed=1)
+        assert set(random_order(sample_graph, seed=1)) == set(sample_graph.vertices())
+
+
+class TestRCM:
+    def test_rcm_is_permutation(self, sample_graph):
+        assert is_permutation_of_vertices(sample_graph, rcm_order(sample_graph))
+
+    def test_rcm_reduces_bandwidth_on_path(self):
+        # On a path the RCM ordering should number vertices consecutively,
+        # i.e. the maximum index difference across an edge (bandwidth) is 1.
+        g = path_graph(12)
+        order = rcm_order(g)
+        pos = {v: i for i, v in enumerate(order)}
+        bandwidth = max(abs(pos[u] - pos[v]) for u, v in g.iter_edges())
+        assert bandwidth == 1
+
+    def test_rcm_bandwidth_not_worse_than_natural_on_shuffled_path(self):
+        import numpy as np
+
+        g = path_graph(30)
+        rng = np.random.default_rng(0)
+        shuffled = [g.vertices()[i] for i in rng.permutation(30)]
+        g2 = permute_graph(g, shuffled)
+
+        def bandwidth(graph, order):
+            pos = {v: i for i, v in enumerate(order)}
+            return max(abs(pos[u] - pos[v]) for u, v in graph.iter_edges())
+
+        assert bandwidth(g2, rcm_order(g2)) <= bandwidth(g2, natural_order(g2))
+
+    def test_rcm_handles_disconnected_graphs(self):
+        g = Graph(edges=[("a", "b"), ("c", "d")])
+        g.add_vertex("iso")
+        assert is_permutation_of_vertices(g, rcm_order(g))
+
+    def test_rcm_star(self):
+        g = star_graph(5)
+        order = rcm_order(g)
+        assert set(order) == set(g.vertices())
+
+
+class TestRegistry:
+    def test_get_ordering_accepts_aliases(self):
+        assert get_ordering("HD") is high_degree_order
+        assert get_ordering("no") is natural_order
+        assert get_ordering("LD") is low_degree_order
+
+    def test_get_ordering_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_ordering("bogus")
+
+    def test_ordering_names(self):
+        assert ordering_names() == ["natural", "high_degree", "low_degree", "rcm"]
+
+
+class TestPermuteGraph:
+    def test_permute_preserves_edges_and_attrs(self, sample_graph):
+        sample_graph.set_edge_attr("hub", "a", "rho", 0.99)
+        order = high_degree_order(sample_graph)
+        permuted = permute_graph(sample_graph, order)
+        assert permuted == sample_graph
+        assert permuted.vertices() == order
+        assert permuted.edge_attr("hub", "a", "rho") == pytest.approx(0.99)
+
+    def test_permute_rejects_non_permutation(self, sample_graph):
+        with pytest.raises(ValueError):
+            permute_graph(sample_graph, ["hub"])

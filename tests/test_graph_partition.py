@@ -1,0 +1,142 @@
+"""Unit tests for the graph partitioners used by the parallel samplers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    PARTITIONERS,
+    Graph,
+    bfs_partition,
+    block_partition,
+    erdos_renyi_graph,
+    get_partitioner,
+    greedy_edge_cut_partition,
+    hash_partition,
+    partition_graph,
+    path_graph,
+    planted_partition_graph,
+)
+
+
+@pytest.fixture
+def medium_graph() -> Graph:
+    return erdos_renyi_graph(40, 0.12, seed=3)
+
+
+ALL_METHODS = sorted(PARTITIONERS)
+
+
+class TestPartitionInvariants:
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    @pytest.mark.parametrize("n_parts", [1, 2, 3, 5, 8])
+    def test_partition_validates(self, medium_graph, method, n_parts):
+        part = partition_graph(medium_graph, n_parts, method=method)
+        part.validate()
+        assert part.n_parts == n_parts
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_edge_accounting(self, medium_graph, method):
+        part = partition_graph(medium_graph, 4, method=method)
+        internal = sum(len(e) for e in part.internal_edges)
+        assert internal + len(part.border_edges) == medium_graph.n_edges
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_single_partition_has_no_border_edges(self, medium_graph, method):
+        part = partition_graph(medium_graph, 1, method=method)
+        assert part.border_edges == []
+        assert len(part.parts[0]) == medium_graph.n_vertices
+
+    def test_invalid_n_parts_rejected(self, medium_graph):
+        with pytest.raises(ValueError):
+            block_partition(medium_graph, 0)
+
+
+class TestBlockPartition:
+    def test_balanced_sizes(self):
+        g = path_graph(10)
+        part = block_partition(g, 3)
+        sizes = sorted(len(p) for p in part.parts)
+        assert sizes == [3, 3, 4]
+
+    def test_respects_explicit_order(self):
+        g = path_graph(6)
+        order = list(reversed(g.vertices()))
+        part = block_partition(g, 2, order=order)
+        assert part.parts[0] == order[:3]
+
+    def test_path_block_partition_cut(self):
+        # Cutting a path into contiguous blocks cuts exactly n_parts - 1 edges.
+        g = path_graph(20)
+        part = block_partition(g, 4)
+        assert part.edge_cut() == 3
+
+    def test_rejects_bad_order(self):
+        g = path_graph(4)
+        with pytest.raises(ValueError):
+            block_partition(g, 2, order=["v0", "v1"])
+
+
+class TestHashPartition:
+    def test_deterministic(self, medium_graph):
+        a = hash_partition(medium_graph, 4)
+        b = hash_partition(medium_graph, 4)
+        assert a.assignment == b.assignment
+
+    def test_salt_changes_assignment(self, medium_graph):
+        a = hash_partition(medium_graph, 4, salt=0)
+        b = hash_partition(medium_graph, 4, salt=99)
+        assert a.assignment != b.assignment
+
+
+class TestBfsPartition:
+    def test_fewer_border_edges_than_hash_on_modular_graph(self):
+        g = planted_partition_graph([20, 20, 20], p_in=0.5, p_out=0.01, seed=5)
+        bfs_cut = bfs_partition(g, 3).edge_cut()
+        hash_cut = hash_partition(g, 3).edge_cut()
+        assert bfs_cut <= hash_cut
+
+    def test_covers_disconnected_graphs(self):
+        g = Graph(edges=[("a", "b"), ("c", "d"), ("e", "f")])
+        part = bfs_partition(g, 3)
+        part.validate()
+
+
+class TestGreedyPartition:
+    def test_respects_imbalance_cap(self, medium_graph):
+        part = greedy_edge_cut_partition(medium_graph, 4, imbalance=1.1)
+        assert part.balance() <= 1.3  # cap is ceil-based, allow slack for rounding
+
+    def test_rejects_bad_imbalance(self, medium_graph):
+        with pytest.raises(ValueError):
+            greedy_edge_cut_partition(medium_graph, 4, imbalance=0.5)
+
+    def test_better_cut_than_hash_on_modular_graph(self):
+        g = planted_partition_graph([25, 25, 25], p_in=0.4, p_out=0.01, seed=2)
+        greedy_cut = greedy_edge_cut_partition(g, 3).edge_cut()
+        hash_cut = hash_partition(g, 3).edge_cut()
+        assert greedy_cut <= hash_cut
+
+
+class TestPartitionHelpers:
+    def test_part_subgraph_contains_only_internal_edges(self, medium_graph):
+        part = partition_graph(medium_graph, 4, method="block")
+        for idx in range(part.n_parts):
+            sub = part.part_subgraph(idx)
+            for u, v in sub.iter_edges():
+                assert part.part_of(u) == idx
+                assert part.part_of(v) == idx
+
+    def test_border_edges_of(self, medium_graph):
+        part = partition_graph(medium_graph, 4, method="hash")
+        for idx in range(part.n_parts):
+            for u, v in part.border_edges_of(idx):
+                assert idx in (part.part_of(u), part.part_of(v))
+
+    def test_get_partitioner_unknown(self):
+        with pytest.raises(KeyError):
+            get_partitioner("metis")
+
+    def test_balance_of_even_split(self):
+        g = path_graph(8)
+        assert block_partition(g, 4).balance() == pytest.approx(1.0)

@@ -1,0 +1,154 @@
+"""Unit tests for BFS/DFS traversal, components and shortest paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    bfs_levels,
+    bfs_order,
+    bfs_tree_edges,
+    connected_components,
+    dfs_order,
+    is_connected,
+    path_graph,
+    pseudo_peripheral_vertex,
+    shortest_path,
+    shortest_path_lengths,
+    star_graph,
+)
+from repro.graph.traversal import component_of, eccentricity, induced_neighborhood
+
+
+class TestBFS:
+    def test_bfs_order_path(self):
+        g = path_graph(5)
+        assert bfs_order(g, "v0") == ["v0", "v1", "v2", "v3", "v4"]
+
+    def test_bfs_order_from_middle(self):
+        g = path_graph(5)
+        order = bfs_order(g, "v2")
+        assert order[0] == "v2"
+        assert set(order) == {f"v{i}" for i in range(5)}
+
+    def test_bfs_unknown_source_raises(self):
+        with pytest.raises(KeyError):
+            bfs_order(path_graph(3), "nope")
+
+    def test_bfs_levels_star(self):
+        g = star_graph(4)
+        levels = bfs_levels(g, "v0")
+        assert levels[0] == ["v0"]
+        assert set(levels[1]) == {"v1", "v2", "v3", "v4"}
+
+    def test_bfs_levels_distances_match_shortest_paths(self):
+        g = path_graph(6)
+        levels = bfs_levels(g, "v0")
+        dist = shortest_path_lengths(g, "v0")
+        for d, level in enumerate(levels):
+            for v in level:
+                assert dist[v] == d
+
+    def test_bfs_tree_edges_count(self):
+        g = path_graph(5)
+        edges = bfs_tree_edges(g, "v0")
+        assert len(edges) == 4
+        assert all(parent != child for parent, child in edges)
+
+
+class TestDFS:
+    def test_dfs_covers_component(self):
+        g = path_graph(5)
+        assert set(dfs_order(g, "v0")) == {f"v{i}" for i in range(5)}
+
+    def test_dfs_goes_deep_first(self):
+        g = Graph(edges=[("r", "a"), ("r", "b"), ("a", "x")])
+        order = dfs_order(g, "r")
+        assert order.index("x") < order.index("b")
+
+    def test_dfs_unknown_source_raises(self):
+        with pytest.raises(KeyError):
+            dfs_order(Graph(), "missing")
+
+
+class TestComponents:
+    def test_single_component(self):
+        g = path_graph(4)
+        comps = connected_components(g)
+        assert len(comps) == 1
+        assert is_connected(g)
+
+    def test_multiple_components(self):
+        g = Graph(edges=[("a", "b"), ("c", "d")])
+        g.add_vertex("lonely")
+        comps = connected_components(g)
+        assert sorted(len(c) for c in comps) == [1, 2, 2]
+        assert not is_connected(g)
+
+    def test_component_of(self):
+        g = Graph(edges=[("a", "b"), ("c", "d")])
+        assert component_of(g, "a") == {"a", "b"}
+
+    def test_empty_graph_is_connected(self):
+        assert is_connected(Graph())
+
+
+class TestShortestPaths:
+    def test_lengths_on_path(self):
+        g = path_graph(5)
+        dist = shortest_path_lengths(g, "v0")
+        assert dist["v4"] == 4
+
+    def test_shortest_path_endpoints(self):
+        g = path_graph(5)
+        sp = shortest_path(g, "v0", "v4")
+        assert sp == ["v0", "v1", "v2", "v3", "v4"]
+
+    def test_shortest_path_same_vertex(self):
+        g = path_graph(3)
+        assert shortest_path(g, "v1", "v1") == ["v1"]
+
+    def test_shortest_path_disconnected_returns_none(self):
+        g = Graph(edges=[("a", "b"), ("c", "d")])
+        assert shortest_path(g, "a", "c") is None
+
+    def test_shortest_path_missing_vertex_raises(self):
+        with pytest.raises(KeyError):
+            shortest_path(path_graph(3), "v0", "nope")
+
+    def test_shortest_path_prefers_short_route(self):
+        g = Graph(edges=[("a", "b"), ("b", "c"), ("a", "c")])
+        assert shortest_path(g, "a", "c") == ["a", "c"]
+
+
+class TestPeripheral:
+    def test_eccentricity_path(self):
+        g = path_graph(5)
+        assert eccentricity(g, "v0") == 4
+        assert eccentricity(g, "v2") == 2
+
+    def test_pseudo_peripheral_on_path_is_an_endpoint(self):
+        g = path_graph(7)
+        v = pseudo_peripheral_vertex(g)
+        assert v in ("v0", "v6")
+
+    def test_pseudo_peripheral_empty_graph_raises(self):
+        with pytest.raises(ValueError):
+            pseudo_peripheral_vertex(Graph())
+
+    def test_pseudo_peripheral_unknown_start_raises(self):
+        with pytest.raises(KeyError):
+            pseudo_peripheral_vertex(path_graph(3), "zzz")
+
+
+class TestInducedNeighborhood:
+    def test_expands_by_one_hop(self):
+        g = path_graph(5)
+        sub = induced_neighborhood(g, ["v2"])
+        assert set(sub.vertices()) == {"v1", "v2", "v3"}
+
+    def test_ignores_unknown_vertices(self):
+        g = path_graph(3)
+        sub = induced_neighborhood(g, ["v0", "ghost"])
+        assert "ghost" not in sub.vertices()

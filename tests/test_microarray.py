@@ -1,0 +1,113 @@
+"""Unit tests for the ExpressionMatrix container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.expression import ExpressionMatrix
+
+
+def make_matrix() -> ExpressionMatrix:
+    values = np.array(
+        [
+            [1.0, 2.0, 3.0, 4.0],
+            [2.0, 4.0, 6.0, 8.0],
+            [5.0, 5.0, 5.0, 5.0],
+        ]
+    )
+    return ExpressionMatrix(
+        values=values,
+        genes=["g1", "g2", "flat"],
+        samples=["s1", "s2", "s3", "s4"],
+        conditions=["A", "A", "B", "B"],
+    )
+
+
+class TestValidation:
+    def test_shape_mismatch_genes(self):
+        with pytest.raises(ValueError):
+            ExpressionMatrix(np.zeros((2, 3)), genes=["a"], samples=["s1", "s2", "s3"])
+
+    def test_shape_mismatch_samples(self):
+        with pytest.raises(ValueError):
+            ExpressionMatrix(np.zeros((2, 3)), genes=["a", "b"], samples=["s1"])
+
+    def test_conditions_length(self):
+        with pytest.raises(ValueError):
+            ExpressionMatrix(
+                np.zeros((1, 2)), genes=["a"], samples=["s1", "s2"], conditions=["A"]
+            )
+
+    def test_duplicate_genes_rejected(self):
+        with pytest.raises(ValueError):
+            ExpressionMatrix(np.zeros((2, 2)), genes=["a", "a"], samples=["s1", "s2"])
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            ExpressionMatrix(np.zeros(3), genes=["a"], samples=["s1"])
+
+
+class TestAccess:
+    def test_dimensions(self):
+        m = make_matrix()
+        assert m.n_genes == 3
+        assert m.n_samples == 4
+
+    def test_gene_index_and_expression(self):
+        m = make_matrix()
+        assert m.gene_index("g2") == 1
+        assert np.allclose(m.expression_of("g2"), [2, 4, 6, 8])
+
+    def test_unknown_gene_raises(self):
+        with pytest.raises(KeyError):
+            make_matrix().gene_index("nope")
+
+
+class TestSubsetting:
+    def test_subset_genes(self):
+        m = make_matrix().subset_genes(["flat", "g1"])
+        assert m.genes == ["flat", "g1"]
+        assert np.allclose(m.values[0], 5.0)
+
+    def test_subset_genes_unknown_raises(self):
+        with pytest.raises(KeyError):
+            make_matrix().subset_genes(["missing"])
+
+    def test_subset_samples(self):
+        m = make_matrix().subset_samples(["s3", "s4"])
+        assert m.samples == ["s3", "s4"]
+        assert m.conditions == ["B", "B"]
+
+    def test_split_by_condition(self):
+        parts = make_matrix().split_by_condition()
+        assert set(parts) == {"A", "B"}
+        assert parts["A"].n_samples == 2
+
+    def test_split_requires_conditions(self):
+        m = ExpressionMatrix(np.zeros((1, 2)), genes=["a"], samples=["s1", "s2"])
+        with pytest.raises(ValueError):
+            m.split_by_condition()
+
+
+class TestTransforms:
+    def test_standardized_zero_mean_unit_variance(self):
+        std = make_matrix().standardized()
+        assert np.allclose(std.values[:2].mean(axis=1), 0.0)
+        assert np.allclose(std.values[:2].std(axis=1), 1.0)
+
+    def test_standardized_flat_gene_is_zero(self):
+        std = make_matrix().standardized()
+        assert np.allclose(std.values[2], 0.0)
+
+    def test_gene_variances(self):
+        variances = make_matrix().gene_variances()
+        assert variances[2] == pytest.approx(0.0)
+        assert variances[1] > variances[0]
+
+    def test_top_variance_genes(self):
+        m = make_matrix()
+        top = m.top_variance_genes(0.34)
+        assert top == ["g2"]
+        with pytest.raises(ValueError):
+            m.top_variance_genes(0.0)

@@ -1,0 +1,72 @@
+"""Unit tests for the synthetic GO DAG generator and study annotation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ontology import EnrichmentScorer, annotate_study, make_go_dag, make_study_ontology
+
+
+class TestMakeGoDag:
+    def test_depth_and_size(self, small_go_dag):
+        assert small_go_dag.max_depth() == 5
+        assert len(small_go_dag) > 2 ** 5
+
+    def test_validates(self, small_go_dag):
+        small_go_dag.validate()
+
+    def test_reproducible(self):
+        a = make_go_dag(depth=4, branching=2, seed=9)
+        b = make_go_dag(depth=4, branching=2, seed=9)
+        assert a.terms() == b.terms()
+
+    def test_some_terms_have_multiple_parents(self):
+        dag = make_go_dag(depth=5, branching=3, extra_parent_fraction=0.2, seed=1)
+        multi = [t for t in dag.terms() if len(dag.parents(t)) > 1]
+        assert multi
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            make_go_dag(depth=1)
+        with pytest.raises(ValueError):
+            make_go_dag(branching=1)
+
+
+class TestAnnotateStudy:
+    def test_all_genes_annotated(self, tiny_study, small_go_dag):
+        table = annotate_study(tiny_study, small_go_dag)
+        assert table.coverage(tiny_study.matrix.genes) == pytest.approx(1.0)
+
+    def test_module_edges_score_higher_than_background_edges(self, tiny_study, small_go_dag):
+        table = annotate_study(tiny_study, small_go_dag, seed=2)
+        scorer = EnrichmentScorer(small_go_dag, table)
+        module = next(iter(tiny_study.modules.values()))
+        module_scores = [
+            scorer.edge(module[i], module[j]).score
+            for i in range(len(module))
+            for j in range(i + 1, len(module))
+        ]
+        background = [g for g in tiny_study.matrix.genes if g not in tiny_study.module_of()][:16]
+        background_scores = [
+            scorer.edge(background[i], background[j]).score
+            for i in range(len(background))
+            for j in range(i + 1, len(background))
+        ]
+        mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+        assert mean(module_scores) > mean(background_scores) + 1.0
+
+    def test_annotation_reproducible_for_seed(self, tiny_study, small_go_dag):
+        a = annotate_study(tiny_study, small_go_dag, seed=7)
+        b = annotate_study(tiny_study, small_go_dag, seed=7)
+        genes = tiny_study.matrix.genes[:20]
+        assert all(a.terms_of(g) == b.terms_of(g) for g in genes)
+
+    def test_make_study_ontology_bundles_dag_and_annotations(self, tiny_study):
+        dag, table = make_study_ontology(tiny_study, depth=5, branching=2)
+        assert table.dag is dag
+        assert table.coverage(tiny_study.matrix.genes) == pytest.approx(1.0)
+
+    def test_requires_deep_enough_dag(self, tiny_study):
+        shallow = make_go_dag(depth=2, branching=2, seed=0)
+        with pytest.raises(ValueError):
+            annotate_study(tiny_study, shallow, module_term_min_depth=10)

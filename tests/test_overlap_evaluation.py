@@ -1,0 +1,171 @@
+"""Unit tests for cluster overlap matching and the quadrant evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clustering import (
+    Cluster,
+    ClusterMatch,
+    EvaluationThresholds,
+    Quadrant,
+    classify_match,
+    classify_matches,
+    edge_overlap,
+    found_clusters,
+    jaccard_node_overlap,
+    lost_clusters,
+    match_clusters,
+    node_overlap,
+    quadrant_counts,
+)
+from repro.graph import Graph, complete_graph
+from repro.ontology import AnnotationTable, EnrichmentScorer, GODag
+
+
+def make_cluster(members, edges, cluster_id=0, score=4.0) -> Cluster:
+    g = Graph(vertices=members, edges=edges)
+    return Cluster(cluster_id=cluster_id, members=list(members), subgraph=g, score=score)
+
+
+@pytest.fixture
+def deep_dag() -> GODag:
+    dag = GODag()
+    parent = dag.root_id
+    for i in range(6):
+        dag.add_term(f"D{i}", [parent])
+        parent = f"D{i}"
+    dag.add_term("shallow", [dag.root_id])
+    return dag
+
+
+def scorer_for(dag: GODag, genes: list[str], deep: bool) -> EnrichmentScorer:
+    table = AnnotationTable(dag)
+    for g in genes:
+        table.annotate(g, ["D5"] if deep else ["shallow"])
+    return EnrichmentScorer(dag, table)
+
+
+class TestOverlapMeasures:
+    def test_identical_clusters(self):
+        a = make_cluster(["x", "y", "z"], [("x", "y"), ("y", "z")])
+        assert node_overlap(a, a) == 1.0
+        assert edge_overlap(a, a) == 1.0
+        assert jaccard_node_overlap(a, a) == 1.0
+
+    def test_partial_overlap(self):
+        original = make_cluster(["a", "b", "c", "d"], [("a", "b"), ("b", "c"), ("c", "d")])
+        candidate = make_cluster(["a", "b", "x"], [("a", "b")])
+        assert node_overlap(original, candidate) == pytest.approx(0.5)
+        assert edge_overlap(original, candidate) == pytest.approx(1 / 3)
+        assert jaccard_node_overlap(original, candidate) == pytest.approx(2 / 5)
+
+    def test_disjoint_clusters(self):
+        a = make_cluster(["a", "b"], [("a", "b")])
+        b = make_cluster(["x", "y"], [("x", "y")])
+        assert node_overlap(a, b) == 0.0
+        assert edge_overlap(a, b) == 0.0
+
+    def test_overlap_is_relative_to_original(self):
+        original = make_cluster(["a", "b"], [("a", "b")])
+        bigger = make_cluster(["a", "b", "c", "d"], [("a", "b"), ("c", "d")])
+        assert node_overlap(original, bigger) == 1.0  # all of the original is covered
+
+
+class TestMatching:
+    def test_best_match_selected(self):
+        orig1 = make_cluster(["a", "b", "c"], [("a", "b"), ("b", "c")], cluster_id=0)
+        orig2 = make_cluster(["x", "y", "z"], [("x", "y"), ("y", "z")], cluster_id=1)
+        filtered = make_cluster(["x", "y", "q"], [("x", "y")], cluster_id=7)
+        matches = match_clusters([orig1, orig2], [filtered])
+        assert len(matches) == 1
+        assert matches[0].original is orig2
+        assert matches[0].node_overlap == pytest.approx(2 / 3)
+
+    def test_found_clusters_have_no_match(self):
+        orig = make_cluster(["a", "b"], [("a", "b")])
+        new = make_cluster(["p", "q"], [("p", "q")])
+        matches = match_clusters([orig], [new])
+        assert matches[0].original is None
+        assert matches[0].is_found
+        assert found_clusters(matches) == [new]
+
+    def test_lost_clusters(self):
+        orig_kept = make_cluster(["a", "b"], [("a", "b")])
+        orig_lost = make_cluster(["m", "n"], [("m", "n")])
+        filtered = make_cluster(["a", "b"], [("a", "b")])
+        assert lost_clusters([orig_kept, orig_lost], [filtered]) == [orig_lost]
+
+    def test_no_filtered_clusters_all_lost(self):
+        orig = make_cluster(["a", "b"], [("a", "b")])
+        assert lost_clusters([orig], []) == [orig]
+        assert match_clusters([orig], []) == []
+
+
+class TestQuadrants:
+    def _match(self, members, overlap_members):
+        original = make_cluster(overlap_members, [])
+        filtered_graph = complete_graph(len(members))
+        filtered = Cluster(
+            cluster_id=0,
+            members=list(filtered_graph.vertices()),
+            subgraph=filtered_graph,
+            score=4.0,
+        )
+        shared = len(set(filtered.members) & set(original.members))
+        return ClusterMatch(
+            filtered=filtered,
+            original=original,
+            node_overlap=shared / max(len(original.members), 1),
+            edge_overlap=0.0,
+        )
+
+    def test_quadrant_assignment(self, deep_dag):
+        genes = complete_graph(4).vertices()
+        deep_scorer = scorer_for(deep_dag, genes, deep=True)
+        shallow_scorer = scorer_for(deep_dag, genes, deep=False)
+        filtered = Cluster(0, list(genes), complete_graph(4), 4.0)
+        original_same = Cluster(1, list(genes), complete_graph(4), 4.0)
+        original_other = make_cluster(["z1", "z2", "z3", "z4"], [])
+
+        high_overlap = ClusterMatch(filtered, original_same, node_overlap=1.0, edge_overlap=1.0)
+        low_overlap = ClusterMatch(filtered, original_other, node_overlap=0.0, edge_overlap=0.0)
+
+        assert classify_match(high_overlap, deep_scorer).quadrant is Quadrant.TRUE_POSITIVE
+        assert classify_match(high_overlap, shallow_scorer).quadrant is Quadrant.FALSE_POSITIVE
+        assert classify_match(low_overlap, deep_scorer).quadrant is Quadrant.FALSE_NEGATIVE
+        assert classify_match(low_overlap, shallow_scorer).quadrant is Quadrant.TRUE_NEGATIVE
+
+    def test_overlap_attr_validation(self, deep_dag):
+        genes = complete_graph(3).vertices()
+        scorer = scorer_for(deep_dag, genes, deep=True)
+        match = ClusterMatch(Cluster(0, list(genes), complete_graph(3), 3.0), None, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            classify_match(match, scorer, overlap_attr="volume_overlap")
+
+    def test_counts_and_rates(self, deep_dag):
+        genes = complete_graph(4).vertices()
+        deep_scorer = scorer_for(deep_dag, genes, deep=True)
+        filtered = Cluster(0, list(genes), complete_graph(4), 4.0)
+        original = Cluster(1, list(genes), complete_graph(4), 4.0)
+        matches = [
+            ClusterMatch(filtered, original, node_overlap=1.0, edge_overlap=1.0),
+            ClusterMatch(filtered, original, node_overlap=0.1, edge_overlap=0.1),
+        ]
+        scored = classify_matches(matches, deep_scorer)
+        counts = quadrant_counts(scored)
+        assert counts.tp == 1 and counts.fn == 1
+        assert counts.sensitivity == pytest.approx(0.5)
+        assert counts.specificity == 0.0
+        assert counts.total == 2
+        d = counts.as_dict()
+        assert d["TP"] == 1
+
+    def test_custom_thresholds(self, deep_dag):
+        genes = complete_graph(4).vertices()
+        scorer = scorer_for(deep_dag, genes, deep=True)
+        filtered = Cluster(0, list(genes), complete_graph(4), 4.0)
+        original = Cluster(1, list(genes), complete_graph(4), 4.0)
+        match = ClusterMatch(filtered, original, node_overlap=0.6, edge_overlap=0.6)
+        strict = EvaluationThresholds(aees_threshold=100.0, overlap_threshold=0.5)
+        assert classify_match(match, scorer, strict).quadrant is Quadrant.FALSE_POSITIVE

@@ -1,0 +1,198 @@
+"""Unit tests for the simulated MPI communicator and SPMD runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel import (
+    ANY_SOURCE,
+    CommStats,
+    SimCommWorld,
+    available_backends,
+    parallel_map,
+    run_spmd,
+)
+
+
+class TestPointToPoint:
+    def test_send_recv_roundtrip(self):
+        def rank_fn(comm):
+            if comm.rank == 0:
+                comm.send({"payload": [1, 2, 3]}, dest=1, tag=5)
+                return "sent"
+            return comm.recv(source=0, tag=5)
+
+        report = run_spmd(rank_fn, 2)
+        assert report.values[0] == "sent"
+        assert report.values[1] == {"payload": [1, 2, 3]}
+
+    def test_tag_matching(self):
+        def rank_fn(comm):
+            if comm.rank == 0:
+                comm.send("low", dest=1, tag=1)
+                comm.send("high", dest=1, tag=2)
+                return None
+            high = comm.recv(source=0, tag=2)
+            low = comm.recv(source=0, tag=1)
+            return (low, high)
+
+        report = run_spmd(rank_fn, 2)
+        assert report.values[1] == ("low", "high")
+
+    def test_any_source(self):
+        def rank_fn(comm):
+            if comm.rank == 0:
+                got = [comm.recv(source=ANY_SOURCE) for _ in range(2)]
+                return sorted(got)
+            comm.send(comm.rank, dest=0)
+            return None
+
+        report = run_spmd(rank_fn, 3)
+        assert report.values[0] == [1, 2]
+
+    def test_stats_counted(self):
+        def rank_fn(comm):
+            if comm.rank == 0:
+                comm.send([1, 2, 3, 4], dest=1)
+            else:
+                comm.recv(source=0)
+            return None
+
+        report = run_spmd(rank_fn, 2)
+        total = report.total_stats()
+        assert total.messages_sent == 1
+        assert total.messages_received == 1
+        assert total.items_sent == 4
+
+    def test_probe(self):
+        def rank_fn(comm):
+            if comm.rank == 0:
+                comm.send("x", dest=1, tag=9)
+                comm.barrier()
+                return None
+            comm.barrier()
+            assert comm.probe(source=0, tag=9)
+            assert not comm.probe(source=0, tag=1)
+            return comm.recv(source=0, tag=9)
+
+        report = run_spmd(rank_fn, 2)
+        assert report.values[1] == "x"
+
+
+class TestCollectives:
+    def test_barrier_all_ranks(self):
+        def rank_fn(comm):
+            comm.barrier()
+            return comm.rank
+
+        assert run_spmd(rank_fn, 4).values == [0, 1, 2, 3]
+
+    def test_bcast(self):
+        def rank_fn(comm):
+            data = {"config": 42} if comm.rank == 0 else None
+            return comm.bcast(data, root=0)
+
+        assert all(v == {"config": 42} for v in run_spmd(rank_fn, 4).values)
+
+    def test_gather(self):
+        def rank_fn(comm):
+            return comm.gather(comm.rank * 10, root=0)
+
+        values = run_spmd(rank_fn, 4).values
+        assert values[0] == [0, 10, 20, 30]
+        assert values[1] is None
+
+    def test_allgather(self):
+        def rank_fn(comm):
+            return comm.allgather(comm.rank)
+
+        values = run_spmd(rank_fn, 3).values
+        assert all(v == [0, 1, 2] for v in values)
+
+    def test_reduce_and_allreduce(self):
+        def rank_fn(comm):
+            total = comm.allreduce(comm.rank + 1, op=lambda a, b: a + b)
+            partial = comm.reduce(comm.rank + 1, op=lambda a, b: a + b, root=0)
+            return (total, partial)
+
+        values = run_spmd(rank_fn, 4).values
+        assert all(v[0] == 10 for v in values)
+        assert values[0][1] == 10
+        assert values[1][1] is None
+
+    def test_scatter(self):
+        def rank_fn(comm):
+            data = [f"part{i}" for i in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(data, root=0)
+
+        assert run_spmd(rank_fn, 3).values == ["part0", "part1", "part2"]
+
+class TestWorldAndErrors:
+    def test_world_size_validation(self):
+        with pytest.raises(ValueError):
+            SimCommWorld(0)
+
+    def test_comm_rank_range(self):
+        world = SimCommWorld(2)
+        with pytest.raises(ValueError):
+            world.comm(5)
+
+    def test_send_to_invalid_rank(self):
+        world = SimCommWorld(2)
+        with pytest.raises(ValueError):
+            world.comm(0).send("x", dest=7)
+
+    def test_stats_merge(self):
+        a = CommStats(messages_sent=1, items_sent=3)
+        b = CommStats(messages_sent=2, barriers=1)
+        merged = a.merge(b)
+        assert merged.messages_sent == 3
+        assert merged.items_sent == 3
+        assert merged.barriers == 1
+
+
+class TestRunner:
+    def test_backends_listed(self):
+        assert set(available_backends()) == {"thread", "serial"}
+
+    def test_serial_backend_for_independent_ranks(self):
+        report = run_spmd(lambda comm: comm.rank ** 2, 4, backend="serial")
+        assert report.values == [0, 1, 4, 9]
+        assert report.backend == "serial"
+
+    def test_rank_args(self):
+        report = run_spmd(
+            lambda comm, item: (comm.rank, item), 3, rank_args=[("a",), ("b",), ("c",)]
+        )
+        assert report.values == [(0, "a"), (1, "b"), (2, "c")]
+
+    def test_shared_args_and_kwargs(self):
+        report = run_spmd(
+            lambda comm, x, y=0: comm.rank + x + y, 2, args=(10,), kwargs={"y": 100}
+        )
+        assert report.values == [110, 111]
+
+    def test_rank_exception_propagates(self):
+        def rank_fn(comm):
+            if comm.rank == 1:
+                raise ValueError("boom")
+            return "ok"
+
+        with pytest.raises(RuntimeError, match="rank 1"):
+            run_spmd(rank_fn, 2)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            run_spmd(lambda c: None, 0)
+        with pytest.raises(ValueError):
+            run_spmd(lambda c: None, 2, rank_args=[()])
+        with pytest.raises(ValueError):
+            run_spmd(lambda c: None, 2, backend="mpi")
+
+    def test_parallel_map_serial(self):
+        results = parallel_map(lambda a, b: a * b, [(2, 3), (4, 5)])
+        assert results == [6, 20]
+
+    def test_parallel_map_invalid_backend(self):
+        with pytest.raises(ValueError):
+            parallel_map(lambda a: a, [(1,)], backend="cluster")

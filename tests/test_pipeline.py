@@ -1,0 +1,98 @@
+"""Integration-level tests for the experiment pipeline (small scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clustering import MCODEParams
+from repro.core import is_chordal
+from repro.pipeline import analyze_filter, cluster_network, format_table, prepare_dataset
+from repro.pipeline.report import format_kv, format_scatter, format_series
+
+
+class TestPrepareDataset:
+    def test_bundle_contents(self, cre_bundle):
+        assert cre_bundle.name == "CRE"
+        assert cre_bundle.n_vertices > 0
+        assert cre_bundle.n_edges > 0
+        assert cre_bundle.original_clusters, "the original network should contain MCODE clusters"
+        summary = cre_bundle.summary()
+        assert summary["dataset"] == "CRE"
+        assert summary["original_clusters"] == len(cre_bundle.original_clusters)
+
+    def test_scorer_separates_modules_from_noise(self, cre_bundle):
+        aees = [cre_bundle.scorer.cluster(c.subgraph).aees for c in cre_bundle.original_clusters]
+        assert max(aees) >= 3.0
+        assert min(aees) < 3.0
+
+    def test_custom_mcode_params(self):
+        bundle = prepare_dataset("YNG", scale=0.02, seed=5, mcode_params=MCODEParams(min_score=2.0))
+        assert bundle.mcode_params.min_score == 2.0
+
+
+class TestAnalyzeFilter:
+    def test_chordal_analysis_structure(self, cre_bundle):
+        analysis = analyze_filter(cre_bundle, method="chordal", ordering="natural", n_partitions=1)
+        assert is_chordal(analysis.result.graph)
+        assert analysis.label.startswith("CRE/chordal")
+        assert analysis.label.endswith("/natural/1P")
+        assert len(analysis.matches) == len(analysis.clusters)
+        assert len(analysis.scored_by_node) == len(analysis.matches)
+        assert analysis.node_counts.total == len(analysis.matches)
+        summary = analysis.summary()
+        assert summary["clusters"] == len(analysis.clusters)
+
+    def test_chordal_preserves_most_high_scoring_clusters(self, cre_bundle):
+        analysis = analyze_filter(cre_bundle, method="chordal", ordering="high_degree", n_partitions=1)
+        original_relevant = [
+            c
+            for c in cre_bundle.original_clusters
+            if cre_bundle.scorer.cluster(c.subgraph).aees >= 3.0
+        ]
+        filtered_relevant = analysis.high_scoring_clusters()
+        assert len(filtered_relevant) >= max(1, len(original_relevant) // 2)
+
+    def test_random_walk_finds_far_fewer_clusters(self, cre_bundle):
+        chordal = analyze_filter(cre_bundle, method="chordal", ordering="natural", n_partitions=4)
+        walk = analyze_filter(cre_bundle, method="random_walk", ordering=None, n_partitions=4, seed=0)
+        assert len(walk.clusters) <= len(chordal.clusters) // 4
+
+    def test_parallel_partitions_recorded(self, cre_bundle):
+        analysis = analyze_filter(cre_bundle, method="chordal", ordering="natural", n_partitions=8)
+        assert analysis.result.n_partitions == 8
+        assert analysis.result.method == "chordal_nocomm"
+
+    def test_cluster_aees_alignment(self, cre_bundle):
+        analysis = analyze_filter(cre_bundle, method="chordal", ordering="rcm", n_partitions=1)
+        assert len(analysis.cluster_aees()) == len(analysis.clusters)
+
+
+class TestClusterNetwork:
+    def test_cluster_network_uses_default_params(self, cre_bundle):
+        clusters = cluster_network(cre_bundle.network, source="test")
+        assert all(c.score >= 3.0 for c in clusters)
+        assert all(c.source == "test" for c in clusters)
+
+
+class TestReportFormatting:
+    def test_format_table_alignment_and_missing_cells(self):
+        rows = [{"a": 1, "b": 2.34567}, {"a": 10}]
+        text = format_table(rows, title="demo")
+        assert "demo" in text
+        assert "2.346" in text
+        assert "-" in text.splitlines()[-1]
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_series(self):
+        text = format_series({"fast": {1: 0.5, 2: 0.25}, "slow": {1: 1.0}}, x_label="P")
+        assert "P" in text and "fast" in text and "slow" in text
+
+    def test_format_scatter(self):
+        text = format_scatter([(0.1, 0.9, "C1")], x_label="aees", y_label="overlap")
+        assert "C1" in text
+
+    def test_format_kv(self):
+        text = format_kv({"vertices": 10, "density": 0.12345})
+        assert "vertices" in text and "0.123" in text

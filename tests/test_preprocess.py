@@ -1,0 +1,81 @@
+"""Unit tests for the differential-expression pre-filter (GSE5078-style)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.expression import (
+    ExpressionMatrix,
+    apply_differential_filter,
+    differential_expression_scores,
+    select_differential_genes,
+)
+
+
+def make_conditions() -> tuple[ExpressionMatrix, ExpressionMatrix]:
+    rng = np.random.default_rng(3)
+    n_samples = 8
+    genes = [f"g{i}" for i in range(30)]
+    base_a = rng.standard_normal((30, n_samples))
+    base_b = rng.standard_normal((30, n_samples))
+    # genes 0-9 are strongly shifted between conditions, the rest are not
+    base_b[:10] += 5.0
+    a = ExpressionMatrix(base_a, genes=genes, samples=[f"a{i}" for i in range(n_samples)])
+    b = ExpressionMatrix(base_b, genes=genes, samples=[f"b{i}" for i in range(n_samples)])
+    return a, b
+
+
+class TestScores:
+    def test_shifted_genes_have_larger_t(self):
+        a, b = make_conditions()
+        result = differential_expression_scores(a, b)
+        shifted = np.abs(result.t_statistics[:10]).min()
+        stable = np.abs(result.t_statistics[10:]).max()
+        assert shifted > stable
+
+    def test_p_values_in_unit_interval(self):
+        a, b = make_conditions()
+        result = differential_expression_scores(a, b)
+        assert np.all(result.p_values >= 0.0)
+        assert np.all(result.p_values <= 1.0)
+
+    def test_gene_mismatch_rejected(self):
+        a, b = make_conditions()
+        b2 = b.subset_genes(list(reversed(b.genes)))
+        with pytest.raises(ValueError):
+            differential_expression_scores(a, b2)
+
+    def test_zero_variance_genes_handled(self):
+        genes = ["flat", "varying"]
+        a = ExpressionMatrix(np.vstack([np.ones(4), np.arange(4.0)]), genes=genes, samples=list("abcd"))
+        b = ExpressionMatrix(np.vstack([np.ones(4), np.arange(4.0) + 1]), genes=genes, samples=list("efgh"))
+        result = differential_expression_scores(a, b)
+        assert np.isfinite(result.t_statistics).all()
+
+
+class TestSelection:
+    def test_top_fraction_selects_shifted_genes(self):
+        a, b = make_conditions()
+        kept = select_differential_genes(a, b, fraction=0.33)
+        assert len(kept) == 10
+        assert set(kept) == {f"g{i}" for i in range(10)}
+
+    def test_top_fraction_preserves_original_order(self):
+        a, b = make_conditions()
+        result = differential_expression_scores(a, b)
+        kept = result.top_fraction(0.5)
+        indices = [a.genes.index(g) for g in kept]
+        assert indices == sorted(indices)
+
+    def test_invalid_fraction(self):
+        a, b = make_conditions()
+        with pytest.raises(ValueError):
+            select_differential_genes(a, b, fraction=0.0)
+
+    def test_apply_filter_returns_subsets(self):
+        a, b = make_conditions()
+        fa, fb, kept = apply_differential_filter(a, b, fraction=0.33)
+        assert fa.genes == kept
+        assert fb.genes == kept
+        assert fa.n_samples == a.n_samples

@@ -1,0 +1,98 @@
+"""Unit tests for the cost model and the per-rank RNG streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    CostModel,
+    RankWork,
+    derive_seed,
+    efficiency,
+    rank_rng,
+    rank_rngs,
+    simulate_execution_time,
+    speedup,
+)
+
+
+class TestCostModel:
+    def test_zero_work_costs_startup_only(self):
+        model = CostModel()
+        assert model.execution_time([]) == pytest.approx(model.startup)
+
+    def test_execution_time_is_max_over_ranks(self):
+        model = CostModel()
+        light = RankWork(edges_examined=10)
+        heavy = RankWork(edges_examined=10_000)
+        t_pair = model.execution_time([light, heavy])
+        t_heavy = model.execution_time([heavy])
+        assert t_pair == pytest.approx(t_heavy)
+
+    def test_communication_adds_cost(self):
+        model = CostModel()
+        work = RankWork(edges_examined=100, border_edges=50, messages=3, items_sent=50, max_degree=5)
+        assert model.rank_time(work, with_communication=True) > model.rank_time(work, with_communication=False)
+
+    def test_border_quadratic_term(self):
+        model = CostModel()
+        small_b = RankWork(border_edges=10, max_degree=5)
+        large_b = RankWork(border_edges=100, max_degree=5)
+        ratio = model.rank_time(large_b, True) / max(model.rank_time(small_b, True), 1e-12)
+        assert ratio > 50  # quadratic growth dominates the 10x border increase
+
+    def test_duplicate_postprocess_charged(self):
+        model = CostModel()
+        base = model.execution_time([RankWork(edges_examined=10)], duplicate_border_edges=0)
+        with_dups = model.execution_time([RankWork(edges_examined=10)], duplicate_border_edges=1000)
+        assert with_dups > base
+
+    def test_simulate_execution_time_wrapper(self):
+        t = simulate_execution_time([RankWork(edges_examined=100)])
+        assert t > 0
+
+
+class TestSpeedup:
+    def test_speedup_and_efficiency(self):
+        times = {1: 8.0, 2: 4.0, 4: 2.0}
+        s = speedup(times)
+        assert s[4] == pytest.approx(4.0)
+        e = efficiency(times)
+        assert e[2] == pytest.approx(1.0)
+
+    def test_speedup_requires_single_processor_baseline(self):
+        with pytest.raises(ValueError):
+            speedup({2: 1.0})
+
+    def test_zero_time_gives_infinite_speedup(self):
+        assert speedup({1: 1.0, 2: 0.0})[2] == float("inf")
+
+
+class TestRankRng:
+    def test_streams_are_reproducible(self):
+        a = rank_rngs(42, 4)
+        b = rank_rngs(42, 4)
+        for ra, rb in zip(a, b):
+            assert np.allclose(ra.random(5), rb.random(5))
+
+    def test_streams_are_independent(self):
+        rngs = rank_rngs(7, 3)
+        draws = [r.random(8).tolist() for r in rngs]
+        assert draws[0] != draws[1]
+        assert draws[1] != draws[2]
+
+    def test_rank_rng_matches_rank_rngs(self):
+        direct = rank_rng(9, 2, 4).random(4)
+        from_list = rank_rngs(9, 4)[2].random(4)
+        assert np.allclose(direct, from_list)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            rank_rngs(0, 0)
+        with pytest.raises(ValueError):
+            rank_rng(0, 5, 2)
+
+    def test_derive_seed_deterministic_and_label_sensitive(self):
+        assert derive_seed(1, "CRE", "natural") == derive_seed(1, "CRE", "natural")
+        assert derive_seed(1, "CRE", "natural") != derive_seed(1, "CRE", "rcm")
