@@ -12,9 +12,15 @@ import pytest
 
 from repro.clustering import mcode_clusters
 from repro.core import chordal_subgraph_edges, is_chordal, maximal_chordal_subgraph
+from repro.core.chordal import (
+    chordal_subgraph_edge_indices,
+    maximum_cardinality_search,
+    reference_chordal_subgraph_edges,
+    reference_maximum_cardinality_search,
+)
 from repro.core.random_walk import random_walk_edges
 from repro.expression import correlated_pairs, make_study
-from repro.graph import correlation_like_graph, partition_graph, rcm_order
+from repro.graph import CSRGraph, correlation_like_graph, partition_graph, rcm_order
 from repro.parallel.rng import rank_rngs
 
 
@@ -26,6 +32,11 @@ def kernel_graph():
 
 
 @pytest.fixture(scope="module")
+def kernel_csr(kernel_graph):
+    return CSRGraph.from_graph(kernel_graph)
+
+
+@pytest.fixture(scope="module")
 def kernel_study():
     return make_study("YNG", scale=0.05)
 
@@ -33,6 +44,35 @@ def kernel_study():
 def test_kernel_chordal_extraction(benchmark, kernel_graph):
     edges = benchmark(chordal_subgraph_edges, kernel_graph)
     assert edges
+
+
+def test_kernel_chordal_extraction_reference(benchmark, kernel_graph):
+    # The seed label-and-set implementation; compare against
+    # test_kernel_chordal_extraction for the CSR-port speedup.
+    edges = benchmark(reference_chordal_subgraph_edges, kernel_graph)
+    assert edges
+
+
+def test_kernel_chordal_extraction_csr_only(benchmark, kernel_csr):
+    # The int-indexed DSW kernel on a prebuilt CSR view (no conversion cost).
+    pairs = benchmark(chordal_subgraph_edge_indices, kernel_csr)
+    assert pairs
+
+
+def test_kernel_csr_conversion(benchmark, kernel_graph):
+    csr = benchmark(CSRGraph.from_graph, kernel_graph)
+    assert csr.n_edges == kernel_graph.n_edges
+
+
+def test_kernel_mcs(benchmark, kernel_graph):
+    order = benchmark(maximum_cardinality_search, kernel_graph)
+    assert len(order) == kernel_graph.n_vertices
+
+
+def test_kernel_mcs_reference(benchmark, kernel_graph):
+    # The seed O(V²) selection scan; compare against test_kernel_mcs.
+    order = benchmark(reference_maximum_cardinality_search, kernel_graph)
+    assert len(order) == kernel_graph.n_vertices
 
 
 def test_kernel_chordality_recognition(benchmark, kernel_graph):

@@ -10,6 +10,8 @@ A small CLI so the pipeline can be driven without writing Python:
     dataset and filter configuration;
 ``python -m repro figure``
     regenerate one of the paper's figures and print its rows/series;
+``python -m repro batch``
+    run a sweep of figure experiments (dedup, disk cache, process fan-out);
 ``python -m repro datasets``
     list the built-in synthetic datasets and their scaled sizes.
 
@@ -26,25 +28,24 @@ from typing import Optional, Sequence
 from .core.sampling import apply_filter, filter_names
 from .expression.datasets import DATASET_CONFIGS, dataset_names, make_study
 from .graph.io import write_edge_list
-from .graph.ordering import ordering_names
+from .graph.ordering import get_ordering, ordering_names
 from .pipeline import experiments as exp
+from .pipeline.batch import (
+    DRIVERS,
+    RunSpec,
+    driver_accepts,
+    driver_names,
+    get_driver,
+    parse_scale,
+    run_batch,
+)
 from .pipeline.report import format_kv, format_table
 from .pipeline.workflow import analyze_filter, prepare_dataset
 
 __all__ = ["build_parser", "main"]
 
-_FIGURES = {
-    "fig04": exp.fig04_aees_by_ordering,
-    "fig05": exp.fig05_overlap_scatter,
-    "fig06": exp.fig06_node_overlap_vs_aees,
-    "fig07": exp.fig07_edge_overlap_vs_aees,
-    "fig08": exp.fig08_sensitivity_specificity,
-    "fig09": exp.fig09_cluster_refinement,
-    "fig10": exp.fig10_scalability,
-    "fig11": exp.fig11_parallel_consistency,
-    "random-walk-control": exp.random_walk_control,
-    "border-edges": exp.border_edge_study,
-}
+#: Figure drivers shared with the batch engine (one registry, two commands).
+_FIGURES = DRIVERS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -79,6 +80,44 @@ def build_parser() -> argparse.ArgumentParser:
     figure = sub.add_parser("figure", help="regenerate one of the paper's figures")
     figure.add_argument("name", choices=sorted(_FIGURES), help="figure / claim to regenerate")
     figure.add_argument("--scale", type=float, default=None)
+
+    batch = sub.add_parser(
+        "batch",
+        help="run a batch of figure experiments (dedup, disk cache, process fan-out)",
+    )
+    batch.add_argument(
+        "--figures",
+        default="all",
+        help="comma-separated driver names (see `repro figure -h`) or 'all'",
+    )
+    batch.add_argument(
+        "--scale",
+        dest="scales",
+        default=None,
+        help="comma-separated scales: floats or tiny/small/default/full "
+        "(default: REPRO_SCALE or 0.1)",
+    )
+    batch.add_argument(
+        "--ordering",
+        dest="orderings",
+        default=None,
+        help="comma-separated vertex orderings, applied to drivers that take one",
+    )
+    batch.add_argument(
+        "--seed",
+        dest="seeds",
+        default=None,
+        help="comma-separated seeds, applied to drivers that take one",
+    )
+    batch.add_argument("--jobs", type=int, default=1, help="worker processes (1 = in-process)")
+    batch.add_argument(
+        "--cache-dir",
+        default=".repro-batch-cache",
+        help="directory for per-run JSON results (spec-hash keyed)",
+    )
+    batch.add_argument("--no-cache", action="store_true", help="disable the disk cache")
+    batch.add_argument("--force", action="store_true", help="re-run even on cache hits")
+    batch.add_argument("--root-seed", type=int, default=0, help="root of the per-run RNG streams")
 
     return parser
 
@@ -148,6 +187,62 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split(raw: Optional[str]) -> list[str]:
+    """Split a comma-separated CLI list, dropping empties; ``None`` → ``[]``."""
+    if raw is None:
+        return []
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    figures = [f.lower() for f in _split(args.figures)]
+    if not figures or figures == ["all"]:
+        figures = driver_names()
+    try:
+        if args.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {args.jobs}")
+        scales = [parse_scale(s) for s in _split(args.scales)] or [exp.default_scale()]
+        seeds = [int(s) for s in _split(args.seeds)] or [None]
+        orderings = _split(args.orderings) or [None]
+        for name in orderings:
+            if name is not None:
+                get_ordering(name)  # raises early, naming the valid orderings
+        for figure in figures:
+            get_driver(figure)  # raises early, naming the valid drivers
+    except (KeyError, ValueError) as err:
+        message = err.args[0] if err.args else str(err)
+        print(f"repro batch: {message}", file=sys.stderr)
+        return 2
+
+    # Cross-product of the swept axes; an axis only applies to drivers that
+    # accept it (the spec dedup collapses the resulting duplicates).
+    specs = []
+    for figure in figures:
+        takes_ordering = driver_accepts(figure, "ordering") or driver_accepts(figure, "orderings")
+        takes_seed = driver_accepts(figure, "seed")
+        for scale in scales:
+            for ordering in orderings if takes_ordering else [None]:
+                for seed in seeds if takes_seed else [None]:
+                    specs.append(
+                        RunSpec.create(figure, scale, ordering=ordering, seed=seed)
+                    )
+
+    results = run_batch(
+        specs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        jobs=args.jobs,
+        force=args.force,
+        root_seed=args.root_seed,
+    )
+    print(format_table([r.row() for r in results], title=f"batch: {len(results)} runs"))
+    failed = [r for r in results if r.status == "failed"]
+    for r in failed:
+        print(f"FAILED {r.spec.figure} @ {r.spec.scale}: {r.error}")
+    if not args.no_cache:
+        print(f"results cached under {args.cache_dir}")
+    return 1 if failed else 0
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     scale = args.scale if args.scale is not None else exp.default_scale()
     driver = _FIGURES[args.name]
@@ -195,6 +290,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "filter": _cmd_filter,
         "analyze": _cmd_analyze,
         "figure": _cmd_figure,
+        "batch": _cmd_batch,
     }
     return handlers[args.command](args)
 

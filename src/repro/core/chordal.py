@@ -20,13 +20,24 @@ This module provides
 * simplicial-vertex and fill-in helpers.
 
 All functions treat the input graph as read-only.
+
+The hot paths (MCS, the PEO check and the DSW construction) run on the
+int-indexed :class:`~repro.graph.csr.CSRGraph` kernel: the public functions
+convert the :class:`Graph` at the boundary, run the ``*_indices`` kernel on
+plain integers and map the result back to labels.  The original
+label-and-set implementations are retained as ``reference_*`` functions; the
+property suite asserts that kernel and reference agree edge-for-edge on
+randomized graphs, so the CSR port cannot silently drift from the seed
+semantics.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections.abc import Hashable, Sequence
 from typing import Optional
 
+from ..graph.csr import CSRGraph
 from ..graph.graph import Graph, edge_key
 
 __all__ = [
@@ -38,9 +49,15 @@ __all__ = [
     "fill_in_edges",
     "maximal_chordal_subgraph",
     "chordal_subgraph_edges",
+    "chordal_subgraph_edge_indices",
+    "chordal_edges_from_csr",
+    "mcs_order_indices",
+    "is_peo_indices",
     "augment_to_maximal",
     "is_maximal_chordal_subgraph",
     "edge_insertion_preserves_chordality",
+    "reference_chordal_subgraph_edges",
+    "reference_maximum_cardinality_search",
 ]
 
 Vertex = Hashable
@@ -50,6 +67,43 @@ Edge = tuple[Vertex, Vertex]
 # ----------------------------------------------------------------------
 # recognition
 # ----------------------------------------------------------------------
+def mcs_order_indices(csr: CSRGraph, start: Optional[int] = None) -> list[int]:
+    """Maximum Cardinality Search on the CSR kernel; returns vertex indices.
+
+    Selects, at every step, the unvisited vertex with the most visited
+    neighbours, ties broken by the smallest index (= ``Graph`` insertion
+    order) — exactly the selection rule of
+    :func:`reference_maximum_cardinality_search`, but with a lazy max-heap so
+    the whole search is O((V + E) log V) instead of O(V²).
+    """
+    n = csr.n_vertices
+    if n == 0:
+        return []
+    nbrs = csr.neighbor_lists()
+    weight = [0] * n
+    visited = bytearray(n)
+    order: list[int] = []
+    # Entries are (-weight, index); stale entries are skipped on pop.
+    heap: list[tuple[int, int]] = [(0, v) for v in range(n)]
+
+    def visit(u: int) -> None:
+        visited[u] = 1
+        order.append(u)
+        for w in nbrs[u]:
+            if not visited[w]:
+                weight[w] += 1
+                heapq.heappush(heap, (-weight[w], w))
+
+    if start is not None:
+        visit(start)
+    while len(order) < n:
+        neg_w, u = heapq.heappop(heap)
+        if visited[u] or -neg_w != weight[u]:
+            continue
+        visit(u)
+    return order
+
+
 def maximum_cardinality_search(graph: Graph, start: Optional[Vertex] = None) -> list[Vertex]:
     """Return a Maximum Cardinality Search (MCS) ordering of the graph.
 
@@ -57,6 +111,69 @@ def maximum_cardinality_search(graph: Graph, start: Optional[Vertex] = None) -> 
     neighbours (ties broken deterministically by insertion order).  For a
     chordal graph the *reverse* of this ordering is a perfect elimination
     ordering, which is the basis of the chordality test.
+    """
+    if graph.n_vertices == 0:
+        return []
+    if start is not None and start not in graph:
+        raise KeyError(f"start vertex {start!r} not in graph")
+    csr = CSRGraph.from_graph(graph)
+    start_idx = None if start is None else csr.index_of(start)
+    return csr.to_labels(mcs_order_indices(csr, start_idx))
+
+
+def is_peo_indices(csr: CSRGraph, order: Sequence[int]) -> bool:
+    """Perfect-elimination check on the CSR kernel (``order`` holds indices)."""
+    n = csr.n_vertices
+    pos = [0] * n
+    for i, v in enumerate(order):
+        pos[v] = i
+    nbrs = csr.neighbor_lists()
+    adj_sets = csr.neighbor_sets()
+    for v in order:
+        pv = pos[v]
+        later = [w for w in nbrs[v] if pos[w] > pv]
+        if len(later) <= 1:
+            continue
+        w = min(later, key=pos.__getitem__)
+        w_adj = adj_sets[w]
+        for x in later:
+            if x != w and x not in w_adj:
+                return False
+    return True
+
+
+def is_perfect_elimination_ordering(graph: Graph, order: Sequence[Vertex]) -> bool:
+    """Return ``True`` when ``order`` is a perfect elimination ordering of ``graph``.
+
+    ``order[0]`` is eliminated first.  The test is the standard one: for every
+    vertex ``v``, its neighbours that appear *later* in the ordering must have
+    their earliest member ``w`` adjacent to all the others (Tarjan &
+    Yannakakis, 1984).  Runs in O(V + E·d).
+    """
+    if len(order) != graph.n_vertices or set(order) != set(graph.vertices()):
+        raise ValueError("order must be a permutation of the graph's vertex set")
+    csr = CSRGraph.from_graph(graph)
+    return is_peo_indices(csr, csr.to_indices(order))
+
+
+def is_chordal(graph: Graph) -> bool:
+    """Return ``True`` when the graph is chordal (every cycle ≥ 4 has a chord)."""
+    if graph.n_vertices <= 3:
+        return True
+    csr = CSRGraph.from_graph(graph)
+    mcs = mcs_order_indices(csr)
+    mcs.reverse()
+    return is_peo_indices(csr, mcs)
+
+
+def reference_maximum_cardinality_search(
+    graph: Graph, start: Optional[Vertex] = None
+) -> list[Vertex]:
+    """The seed label-level MCS implementation (O(V²) selection scan).
+
+    Kept verbatim as the behavioural reference for
+    :func:`maximum_cardinality_search`; the property suite asserts both
+    produce the identical ordering.
     """
     if graph.n_vertices == 0:
         return []
@@ -81,39 +198,6 @@ def maximum_cardinality_search(graph: Graph, start: Optional[Vertex] = None) -> 
             if w not in visited:
                 weight[w] += 1
     return order
-
-
-def is_perfect_elimination_ordering(graph: Graph, order: Sequence[Vertex]) -> bool:
-    """Return ``True`` when ``order`` is a perfect elimination ordering of ``graph``.
-
-    ``order[0]`` is eliminated first.  The test is the standard one: for every
-    vertex ``v``, its neighbours that appear *later* in the ordering must have
-    their earliest member ``w`` adjacent to all the others (Tarjan &
-    Yannakakis, 1984).  Runs in O(V + E·d).
-    """
-    if len(order) != graph.n_vertices or set(order) != set(graph.vertices()):
-        raise ValueError("order must be a permutation of the graph's vertex set")
-    pos = {v: i for i, v in enumerate(order)}
-    for v in order:
-        later = [w for w in graph.neighbors(v) if pos[w] > pos[v]]
-        if len(later) <= 1:
-            continue
-        w = min(later, key=lambda x: pos[x])
-        w_nbrs = graph.neighbor_set(w)
-        for x in later:
-            if x is w:
-                continue
-            if x not in w_nbrs:
-                return False
-    return True
-
-
-def is_chordal(graph: Graph) -> bool:
-    """Return ``True`` when the graph is chordal (every cycle ≥ 4 has a chord)."""
-    if graph.n_vertices <= 3:
-        return True
-    mcs = maximum_cardinality_search(graph)
-    return is_perfect_elimination_ordering(graph, list(reversed(mcs)))
 
 
 def is_simplicial(graph: Graph, v: Vertex) -> bool:
@@ -167,6 +251,112 @@ def fill_in_edges(graph: Graph, order: Optional[Sequence[Vertex]] = None) -> lis
 # ----------------------------------------------------------------------
 # Dearing–Shier–Warner maximal chordal subgraph
 # ----------------------------------------------------------------------
+def chordal_subgraph_edge_indices(
+    csr: CSRGraph,
+    priority: Optional[Sequence[int]] = None,
+    strict_order: bool = False,
+    start: Optional[int] = None,
+) -> list[tuple[int, int]]:
+    """Dearing–Shier–Warner extraction on the CSR kernel.
+
+    ``priority[v]`` is vertex ``v``'s rank in the preference order (0 =
+    first); ``None`` means natural (index) order.  Returns accepted edges as
+    index pairs, grouped by processing step; within a step the pairs are
+    emitted in ascending partner index, so the output is deterministic
+    regardless of label types.  The greedy selection rule and tie-breaking are
+    identical to :func:`reference_chordal_subgraph_edges` — priorities are
+    unique, so both implementations process vertices in the same sequence and
+    accept the same edge set.
+    """
+    n = csr.n_vertices
+    if n == 0:
+        return []
+    if priority is None:
+        priority = range(n)
+    if start is None:
+        start = min(range(n), key=priority.__getitem__)
+    nbrs = csr.neighbor_lists()
+
+    # S(v): processed accepted-neighbours of v (always a clique in the
+    # accepted subgraph); the update rule "u joins S(v) iff S(v) ⊆ S(u)" is
+    # the DSW invariant — see reference_chordal_subgraph_edges for the
+    # annotated original.
+    s: list[set[int]] = [set() for _ in range(n)]
+    processed = bytearray(n)
+    accepted: list[tuple[int, int]] = []
+    heap: list[tuple[int, int, int]] = []
+    greedy = not strict_order  # strict mode never pops the heap, so skip pushes
+
+    def process(u: int) -> None:
+        processed[u] = 1
+        su = s[u]
+        for w in sorted(su):
+            accepted.append((u, w))
+        for v in nbrs[u]:
+            if processed[v]:
+                continue
+            sv = s[v]
+            if sv <= su:
+                sv.add(u)
+                if greedy:
+                    heapq.heappush(heap, (-len(sv), priority[v], v))
+
+    if strict_order:
+        sequence = sorted(range(n), key=priority.__getitem__)
+        if sequence[0] != start:
+            sequence.remove(start)
+            sequence.insert(0, start)
+        for u in sequence:
+            process(u)
+    else:
+        # Greedy maximum-|S| selection with a lazy max-heap: every S-growth
+        # pushes a fresh entry (inside process), stale entries are skipped on
+        # pop.  Total pushes are O(E), keeping selection O(E log V).
+        process(start)
+        for v in range(n):
+            if not processed[v]:
+                heapq.heappush(heap, (-len(s[v]), priority[v], v))
+        n_processed = 1
+        while n_processed < n:
+            neg_size, _, u = heapq.heappop(heap)
+            if processed[u] or -neg_size != len(s[u]):
+                continue
+            process(u)
+            n_processed += 1
+    return accepted
+
+
+def chordal_edges_from_csr(
+    csr: CSRGraph,
+    order: Optional[Sequence[Vertex]] = None,
+    strict_order: bool = False,
+) -> list[Edge]:
+    """Run the DSW kernel on a prebuilt CSR view and return label-level edges.
+
+    ``order`` is a *label* sequence that may be a superset of the CSR's
+    vertices (e.g. a global vertex ordering restricted to one partition);
+    labels absent from ``csr`` are skipped, and the relative order of the
+    present ones defines the preference ranks.  This is the entry point the
+    per-partition sampler loops use so that one conversion serves both the
+    extraction and the work counters.
+    """
+    priority: Optional[list[int]] = None
+    if order is not None:
+        index = csr.label_index
+        priority = [-1] * csr.n_vertices
+        rank = 0
+        for v in order:
+            i = index.get(v)
+            if i is not None and priority[i] < 0:  # first occurrence wins
+                priority[i] = rank
+                rank += 1
+        if rank != csr.n_vertices:
+            raise ValueError("order must cover every vertex of the graph")
+    pairs = chordal_subgraph_edge_indices(csr, priority=priority, strict_order=strict_order)
+    labels = csr.labels
+    return [edge_key(labels[i], labels[j]) for i, j in pairs]
+
+
 def chordal_subgraph_edges(
     graph: Graph,
     order: Optional[Sequence[Vertex]] = None,
@@ -184,6 +374,10 @@ def chordal_subgraph_edges(
     order is a perfect elimination ordering and the result is chordal; the
     greedy selection rule (process the vertex with the largest ``S``) makes it
     maximal.  Complexity is O(|E|·d) where ``d`` is the maximum degree.
+
+    The computation runs on the int-indexed CSR kernel
+    (:func:`chordal_subgraph_edge_indices`); labels only appear at this
+    boundary.
 
     Parameters
     ----------
@@ -203,6 +397,44 @@ def chordal_subgraph_edges(
     Returns
     -------
     list of canonical edges of the chordal subgraph.
+    """
+    verts = graph.vertices()
+    n = len(verts)
+    if n == 0:
+        return []
+    csr = CSRGraph.from_graph(graph)
+    start_idx: Optional[int] = None
+    if order is None:
+        priority: Optional[list[int]] = None
+    else:
+        if len(order) != n or set(order) != set(verts):
+            raise ValueError("order must be a permutation of the graph's vertex set")
+        priority = [0] * n
+        index = csr.label_index
+        for rank, v in enumerate(order):
+            priority[index[v]] = rank
+    if start is not None:
+        if start not in graph:
+            raise KeyError(f"start vertex {start!r} not in graph")
+        start_idx = csr.index_of(start)
+    pairs = chordal_subgraph_edge_indices(
+        csr, priority=priority, strict_order=strict_order, start=start_idx
+    )
+    labels = csr.labels
+    return [edge_key(labels[i], labels[j]) for i, j in pairs]
+
+
+def reference_chordal_subgraph_edges(
+    graph: Graph,
+    order: Optional[Sequence[Vertex]] = None,
+    strict_order: bool = False,
+    start: Optional[Vertex] = None,
+) -> list[Edge]:
+    """The seed label-and-set DSW implementation.
+
+    Kept verbatim as the behavioural reference for
+    :func:`chordal_subgraph_edges`; the property suite asserts the CSR kernel
+    accepts the identical edge set under every ordering.
     """
     verts = graph.vertices()
     n = len(verts)
@@ -253,8 +485,6 @@ def chordal_subgraph_edges(
         # vertex's S grows we push a fresh entry; stale entries are skipped on
         # pop.  Total pushes are bounded by the number of S-updates, i.e. O(E),
         # keeping the selection loop O(E log V) instead of O(V²).
-        import heapq
-
         heap: list[tuple[int, int, Vertex]] = []
 
         def push(v: Vertex) -> None:

@@ -28,13 +28,14 @@ import time
 from collections.abc import Hashable, Sequence
 from typing import Optional
 
+from ..graph.csr import CSRGraph
 from ..graph.graph import Graph, edge_key
 from ..graph.ordering import get_ordering
 from ..graph.partition import Partition, partition_graph
 from ..parallel.comm import SimComm
 from ..parallel.runner import run_spmd
 from ..parallel.timing import RankWork
-from .chordal import chordal_subgraph_edges, edge_insertion_preserves_chordality
+from .chordal import chordal_edges_from_csr, edge_insertion_preserves_chordality
 from .results import FilterResult
 
 __all__ = ["parallel_chordal_comm_filter", "receiver_admit_border_edges"]
@@ -76,19 +77,19 @@ def _rank_function(
     strict_order: bool,
 ) -> dict:
     """SPMD body executed by every rank of the with-communication sampler."""
-    members = set(part_vertices)
-    local_order = None
-    if order is not None:
-        local_order = [v for v in order if v in members]
-    local_edges = chordal_subgraph_edges(part_graph, order=local_order, strict_order=strict_order)
+    # One CSR conversion per rank: the DSW kernel runs int-indexed and the
+    # work counters come from the same view (labels outside this partition
+    # are dropped at the CSR boundary).
+    csr = CSRGraph.from_graph(part_graph)
+    local_edges = chordal_edges_from_csr(csr, order=order, strict_order=strict_order)
 
     work = RankWork(
-        edges_examined=part_graph.n_edges,
-        chordality_checks=sum(part_graph.degree(v) for v in part_graph.vertices()),
+        edges_examined=csr.n_edges,
+        chordality_checks=csr.degree_sum(),
         border_edges=sum(len(v) for v in border_by_peer.values()),
         messages=0,
         items_sent=0,
-        max_degree=max(part_graph.max_degree(), 1),
+        max_degree=max(csr.max_degree(), 1),
     )
 
     # Build a mutable view of this rank's accepted subgraph for admission tests.

@@ -29,13 +29,14 @@ import time
 from collections.abc import Hashable, Sequence
 from typing import Optional
 
+from ..graph.csr import CSRGraph
 from ..graph.cycles import cycle_basis_sizes
 from ..graph.graph import Graph, edge_key
 from ..graph.ordering import get_ordering
 from ..graph.partition import Partition, partition_graph
 from ..parallel.runner import parallel_map
 from ..parallel.timing import RankWork
-from .chordal import chordal_subgraph_edges
+from .chordal import chordal_edges_from_csr
 from .results import FilterResult
 
 __all__ = [
@@ -55,21 +56,20 @@ def local_chordal_phase(
 ) -> tuple[list[Edge], RankWork]:
     """Run the local (per-partition) chordal extraction and return (edges, work).
 
-    ``order`` is the global vertex ordering restricted to this partition; the
-    work counters feed the scalability cost model.
+    ``order`` is the global vertex ordering (labels outside this partition are
+    ignored by the CSR boundary); the work counters feed the scalability cost
+    model.  The partition subgraph is converted to CSR once, and both the DSW
+    kernel and the counters run on that view.
     """
-    local_order = None
-    if order is not None:
-        members = set(part_graph.vertices())
-        local_order = [v for v in order if v in members]
-    edges = chordal_subgraph_edges(part_graph, order=local_order, strict_order=strict_order)
+    csr = CSRGraph.from_graph(part_graph)
+    edges = chordal_edges_from_csr(csr, order=order, strict_order=strict_order)
     work = RankWork(
-        edges_examined=part_graph.n_edges,
-        chordality_checks=sum(part_graph.degree(v) for v in part_graph.vertices()),
+        edges_examined=csr.n_edges,
+        chordality_checks=csr.degree_sum(),
         border_edges=0,
         messages=0,
         items_sent=0,
-        max_degree=max(part_graph.max_degree(), 1),
+        max_degree=max(csr.max_degree(), 1),
     )
     return edges, work
 
@@ -96,15 +96,25 @@ def admit_border_edges_no_communication(
         elif v in part_vertices and u not in part_vertices:
             by_external.setdefault(u, []).append(v)
         # edges with both endpoints outside the partition are not this rank's business
+    # Adjacency view of the local chordal edges: the O(b²) pair loop below
+    # then tests membership directly instead of canonicalising an edge key
+    # for every candidate pair.
+    chordal_adj: dict[Vertex, set[Vertex]] = {}
+    for a, b in local_chordal_edges:
+        chordal_adj.setdefault(a, set()).add(b)
+        chordal_adj.setdefault(b, set()).add(a)
+    empty: set[Vertex] = set()
     admitted: set[Edge] = set()
     for external, internals in by_external.items():
         n = len(internals)
         if n < 2:
             continue
         for i in range(n):
+            a = internals[i]
+            a_adj = chordal_adj.get(a, empty)
             for j in range(i + 1, n):
-                a, b = internals[i], internals[j]
-                if edge_key(a, b) in local_chordal_edges:
+                b = internals[j]
+                if b in a_adj:
                     admitted.add(edge_key(external, a))
                     admitted.add(edge_key(external, b))
     return sorted(admitted, key=repr)

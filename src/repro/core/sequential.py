@@ -15,10 +15,11 @@ from typing import Optional
 
 import numpy as np
 
+from ..graph.csr import CSRGraph
 from ..graph.graph import Graph, edge_key
 from ..graph.ordering import get_ordering
 from ..parallel.timing import RankWork
-from .chordal import chordal_subgraph_edges
+from .chordal import chordal_edges_from_csr
 from .results import FilterResult
 
 __all__ = ["sequential_chordal_filter", "sequential_random_walk_filter", "resolve_order"]
@@ -67,16 +68,18 @@ def sequential_chordal_filter(
     """
     start = time.perf_counter()
     order, name = resolve_order(graph, ordering, explicit_order)
-    edges = chordal_subgraph_edges(graph, order=order, strict_order=strict_order)
+    # One CSR conversion serves the extraction kernel and the work counters.
+    csr = CSRGraph.from_graph(graph)
+    edges = chordal_edges_from_csr(csr, order=order, strict_order=strict_order)
     filtered = graph.spanning_subgraph(edges)
     wall = time.perf_counter() - start
     work = RankWork(
-        edges_examined=graph.n_edges,
-        chordality_checks=sum(graph.degree(v) for v in graph.vertices()),
+        edges_examined=csr.n_edges,
+        chordality_checks=csr.degree_sum(),
         border_edges=0,
         messages=0,
         items_sent=0,
-        max_degree=graph.max_degree(),
+        max_degree=csr.max_degree(),
     )
     result = FilterResult(
         graph=filtered,

@@ -37,6 +37,7 @@ from .generators import (
     random_tree,
     star_graph,
 )
+from .csr import CSRGraph
 from .graph import Graph, edge_key
 from .io import (
     edge_list_string,
@@ -92,6 +93,7 @@ from .traversal import (
 
 __all__ = [
     "Graph",
+    "CSRGraph",
     "edge_key",
     # centrality
     "degree_centrality",

@@ -1,0 +1,301 @@
+"""Compressed sparse row (CSR) graph kernel.
+
+:class:`~repro.graph.graph.Graph` stores adjacency as insertion-ordered
+dict-of-dicts keyed by arbitrary hashable labels.  That is the right shape for
+building networks (gene identifiers in, deterministic iteration out), but it
+is the wrong shape for the chordality hot loops: every neighbour access hashes
+a label, every neighbour list is a fresh allocation, and every edge test walks
+a dictionary.  On the multi-thousand-vertex correlation networks of the
+scalability study those constants dominate the measured time.
+
+:class:`CSRGraph` is the compact counterpart the kernels run on instead:
+
+* vertices are renumbered ``0 .. n-1`` in ``Graph`` insertion order, with the
+  original labels retained so results can be mapped back at the boundary;
+* adjacency is the classic CSR pair ``(indptr, indices)`` of numpy ``int64``
+  arrays — the neighbours of vertex ``i`` are ``indices[indptr[i]:indptr[i+1]]``
+  in the same order the :class:`Graph` would iterate them;
+* degrees are one vectorised ``diff``, edge membership is a binary search over
+  a packed sorted edge array, and bulk membership (:meth:`has_edges`) is fully
+  vectorised.
+
+A ``CSRGraph`` is *frozen*: all mutation happens on :class:`Graph`, and code
+converts at the boundary with :meth:`from_graph` / :meth:`to_graph`.  Edge
+attributes are intentionally not carried over — the samplers re-attach them by
+building their result with ``Graph.spanning_subgraph`` on the original graph.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Sequence
+from typing import Optional
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = ["CSRGraph"]
+
+Vertex = Hashable
+
+
+class CSRGraph:
+    """A frozen, int-indexed CSR view of a simple undirected graph.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of length ``n + 1``; row ``i`` spans
+        ``indices[indptr[i]:indptr[i+1]]``.
+    indices:
+        ``int64`` array of neighbour indices (each undirected edge appears in
+        both endpoint rows).
+    labels:
+        The original vertex labels, ``labels[i]`` naming vertex ``i``.
+    """
+
+    __slots__ = ("indptr", "indices", "labels", "_label_index", "_packed", "_rows", "_row_sets")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        labels: Sequence[Vertex],
+    ) -> None:
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        labels = tuple(labels)
+        n = len(labels)
+        if indptr.ndim != 1 or indptr.shape[0] != n + 1:
+            raise ValueError(f"indptr must have length n+1 = {n + 1}, got {indptr.shape}")
+        if indptr[0] != 0 or (np.diff(indptr) < 0).any():
+            raise ValueError("indptr must start at 0 and be non-decreasing")
+        if indices.ndim != 1 or indices.shape[0] != int(indptr[-1]):
+            raise ValueError("indices length must equal indptr[-1]")
+        if indices.size and (indices.min() < 0 or indices.max() >= n):
+            raise ValueError("indices contain out-of-range vertex ids")
+        indptr.setflags(write=False)
+        indices.setflags(write=False)
+        object.__setattr__(self, "indptr", indptr)
+        object.__setattr__(self, "indices", indices)
+        object.__setattr__(self, "labels", labels)
+        object.__setattr__(self, "_label_index", None)
+        object.__setattr__(self, "_packed", None)
+        object.__setattr__(self, "_rows", None)
+        object.__setattr__(self, "_row_sets", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("CSRGraph is frozen; build a new one instead of mutating")
+
+    # ------------------------------------------------------------------
+    # conversion
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "CSRGraph":
+        """Build the CSR view of ``graph``.
+
+        Vertex ``i`` is the ``i``-th vertex of ``graph.vertices()`` and row
+        ``i`` lists its neighbours in the graph's (insertion) iteration order,
+        so every deterministic traversal of the :class:`Graph` has an exact
+        int-indexed counterpart here.
+        """
+        adj = graph._adj  # package-internal fast path; Graph owns the invariants
+        labels = tuple(adj)
+        index = {v: i for i, v in enumerate(labels)}
+        n = len(labels)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        flat: list[int] = []
+        extend = flat.extend
+        lookup = index.__getitem__
+        rows: list[list[int]] = []
+        for i, v in enumerate(labels):
+            row = list(map(lookup, adj[v]))
+            rows.append(row)
+            indptr[i + 1] = indptr[i] + len(row)
+            extend(row)
+        csr = cls(indptr, np.asarray(flat, dtype=np.int64), labels)
+        object.__setattr__(csr, "_label_index", index)
+        object.__setattr__(csr, "_rows", rows)
+        return csr
+
+    def to_graph(self) -> Graph:
+        """Convert back to a :class:`Graph`.
+
+        The result compares equal to the source graph (same vertex set,
+        iteration order and edge set).  Edges are inserted in row-major order,
+        so per-vertex *neighbour* order may differ from an arbitrarily
+        interleaved construction sequence; edge attributes are not carried by
+        the CSR form at all (re-attach them via ``Graph.spanning_subgraph`` on
+        the original graph).
+        """
+        g = Graph(vertices=self.labels)
+        indptr, indices, labels = self.indptr, self.indices, self.labels
+        for i in range(self.n_vertices):
+            for j in indices[indptr[i] : indptr[i + 1]]:
+                if j > i:
+                    g.add_edge(labels[i], labels[int(j)])
+        return g
+
+    # ------------------------------------------------------------------
+    # label <-> index mapping
+    # ------------------------------------------------------------------
+    @property
+    def label_index(self) -> dict:
+        """Mapping label → vertex index (built lazily, then cached)."""
+        idx = self._label_index
+        if idx is None:
+            idx = {v: i for i, v in enumerate(self.labels)}
+            object.__setattr__(self, "_label_index", idx)
+        return idx
+
+    def index_of(self, label: Vertex) -> int:
+        """Return the index of ``label``; raises ``KeyError`` when absent."""
+        return self.label_index[label]
+
+    def label_of(self, index: int) -> Vertex:
+        """Return the label of vertex ``index``."""
+        return self.labels[index]
+
+    def to_indices(self, labels: Iterable[Vertex]) -> list[int]:
+        """Map an iterable of labels to vertex indices."""
+        idx = self.label_index
+        return [idx[v] for v in labels]
+
+    def to_labels(self, indices: Iterable[int]) -> list[Vertex]:
+        """Map an iterable of vertex indices back to labels."""
+        labels = self.labels
+        return [labels[i] for i in indices]
+
+    def __contains__(self, label: Vertex) -> bool:
+        return label in self.label_index
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+    @property
+    def n_vertices(self) -> int:
+        return len(self.labels)
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.indices.shape[0]) // 2
+
+    def degree(self, i: int) -> int:
+        return int(self.indptr[i + 1] - self.indptr[i])
+
+    def degrees(self) -> np.ndarray:
+        """All vertex degrees as one vectorised ``int64`` array."""
+        return np.diff(self.indptr)
+
+    def degree_sum(self) -> int:
+        """``sum(deg(v))`` = ``2 |E|`` (the chordality-check work counter)."""
+        return int(self.indices.shape[0])
+
+    def max_degree(self) -> int:
+        if self.n_vertices == 0:
+            return 0
+        return int(self.degrees().max())
+
+    def neighbors(self, i: int) -> np.ndarray:
+        """Neighbours of vertex ``i`` as a read-only array view (row order)."""
+        return self.indices[self.indptr[i] : self.indptr[i + 1]]
+
+    def neighbor_lists(self) -> list[list[int]]:
+        """All adjacency rows as plain Python ``list[int]`` (kernel-loop form).
+
+        Built once and cached on the frozen graph, so chained kernels (MCS →
+        PEO → DSW) share the rows.  Treat the result as read-only.
+        """
+        rows = self._rows
+        if rows is None:
+            indptr, indices = self.indptr, self.indices
+            rows = [
+                indices[indptr[i] : indptr[i + 1]].tolist() for i in range(self.n_vertices)
+            ]
+            object.__setattr__(self, "_rows", rows)
+        return rows
+
+    def neighbor_sets(self) -> list[set[int]]:
+        """All adjacency rows as ``set[int]`` (O(1) membership; cached, read-only)."""
+        sets = self._row_sets
+        if sets is None:
+            sets = [set(row) for row in self.neighbor_lists()]
+            object.__setattr__(self, "_row_sets", sets)
+        return sets
+
+    @property
+    def _packed_edges(self) -> np.ndarray:
+        """Sorted array of ``u * n + v`` for every directed edge (lazy)."""
+        packed = self._packed
+        if packed is None:
+            n = self.n_vertices
+            rows = np.repeat(np.arange(n, dtype=np.int64), self.degrees())
+            packed = np.sort(rows * n + self.indices)
+            packed.setflags(write=False)
+            object.__setattr__(self, "_packed", packed)
+        return packed
+
+    def has_edge(self, i: int, j: int) -> bool:
+        """O(log E) membership test for the undirected edge ``{i, j}``."""
+        n = self.n_vertices
+        if not (0 <= i < n and 0 <= j < n):
+            return False
+        packed = self._packed_edges
+        key = i * n + j
+        pos = int(np.searchsorted(packed, key))
+        return pos < packed.shape[0] and int(packed[pos]) == key
+
+    def has_edges(self, us: Sequence[int], vs: Sequence[int]) -> np.ndarray:
+        """Vectorised membership test: one bool per ``(us[k], vs[k])`` pair."""
+        n = self.n_vertices
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        if us.shape != vs.shape:
+            raise ValueError("us and vs must have the same shape")
+        packed = self._packed_edges
+        keys = us * n + vs
+        pos = np.searchsorted(packed, keys)
+        valid = pos < packed.shape[0]
+        out = np.zeros(keys.shape, dtype=bool)
+        if packed.shape[0]:
+            out[valid] = packed[pos[valid]] == keys[valid]
+        in_range = (us >= 0) & (us < n) & (vs >= 0) & (vs < n)
+        return out & in_range
+
+    def edge_indices(self) -> Iterator[tuple[int, int]]:
+        """Iterate every undirected edge once as ``(i, j)`` with row-major order.
+
+        Each edge is reported from the endpoint whose row mentions it first,
+        mirroring :meth:`Graph.iter_edges` determinism (but on indices).
+        """
+        indptr, indices = self.indptr, self.indices
+        seen: set[int] = set()
+        n = self.n_vertices
+        for i in range(n):
+            for j in indices[indptr[i] : indptr[i + 1]]:
+                j = int(j)
+                key = (i * n + j) if i < j else (j * n + i)
+                if key not in seen:
+                    seen.add(key)
+                    yield (i, j)
+
+    # ------------------------------------------------------------------
+    # dunder protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.n_vertices
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"CSRGraph(n_vertices={self.n_vertices}, n_edges={self.n_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return (
+            self.labels == other.labels
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.labels, self.indptr.tobytes(), self.indices.tobytes()))

@@ -32,21 +32,41 @@ Edge = tuple[Vertex, Vertex]
 def edge_key(u: Vertex, v: Vertex) -> Edge:
     """Return a canonical (order independent) key for the undirected edge ``{u, v}``.
 
-    The two endpoints are sorted by ``repr`` so that arbitrary hashable vertex
-    labels (ints, strings, tuples) can be mixed in one graph while still
-    producing a deterministic canonical form.
+    Endpoints that support ``<`` are ordered directly.  Mixed-type endpoints
+    (e.g. an int and a string in the same graph) raise ``TypeError`` on ``<``,
+    so a fallback total order is used instead.
+
+    **Fallback contract.**  Incomparable endpoints are ordered by the tuple
+    ``(type module, type qualname, repr)``.  This is canonical —
+    ``edge_key(u, v) == edge_key(v, u)`` — whenever unequal endpoints differ
+    in type or in ``repr``, which covers every mixed built-in type (the seed
+    implementation compared ``repr`` alone, so two unequal vertices of
+    *different* types whose reprs matched would silently produce two distinct
+    keys for the same edge).  If unequal endpoints agree on all three
+    components the edge has no canonical form and ``ValueError`` is raised
+    rather than corrupting attribute lookups: give such vertex classes an
+    ordering or a distinguishing ``repr``.
 
     >>> edge_key("b", "a")
     ('a', 'b')
     >>> edge_key(2, 1)
     (1, 2)
+    >>> edge_key(1, "x") == edge_key("x", 1)
+    True
     """
     if u == v:
         raise ValueError(f"self loop {u!r} has no canonical edge key")
     try:
         swap = v < u  # type: ignore[operator]
     except TypeError:
-        swap = repr(v) < repr(u)
+        ku = (type(u).__module__, type(u).__qualname__, repr(u))
+        kv = (type(v).__module__, type(v).__qualname__, repr(v))
+        if ku == kv:
+            raise ValueError(
+                f"vertices {u!r} and {v!r} are unequal but unorderable and "
+                "indistinguishable by (type, repr); no canonical edge key exists"
+            )
+        swap = kv < ku
     return (v, u) if swap else (u, v)
 
 

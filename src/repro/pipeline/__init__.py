@@ -6,6 +6,13 @@ from .ablation import (
     partitioner_ablation,
     quasi_chordality_study,
 )
+from .batch import (
+    DRIVERS,
+    BatchRunResult,
+    RunSpec,
+    driver_names,
+    run_batch,
+)
 from .experiments import (
     ORDERING_LABELS,
     border_edge_study,
@@ -51,6 +58,11 @@ __all__ = [
     "fig11_parallel_consistency",
     "random_walk_control",
     "border_edge_study",
+    "DRIVERS",
+    "RunSpec",
+    "BatchRunResult",
+    "run_batch",
+    "driver_names",
     "format_table",
     "format_series",
     "format_scatter",

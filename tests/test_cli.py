@@ -80,3 +80,26 @@ class TestCommands:
         assert main(["figure", "random-walk-control", "--scale", SCALE]) == 0
         out = capsys.readouterr().out
         assert "random_walk_clusters" in out
+
+    def test_batch_command_runs_and_caches(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        argv = [
+            "batch", "--figures", "fig09", "--scale", SCALE,
+            "--ordering", "high_degree", "--cache-dir", str(cache),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "ran" in out
+        assert list(cache.glob("fig09__*.json"))
+        # Second invocation is a cache hit.
+        assert main(argv) == 0
+        assert "cached" in capsys.readouterr().out
+
+    def test_batch_command_scale_alias(self, capsys, tmp_path):
+        argv = [
+            "batch", "--figures", "fig09", "--scale", "tiny",
+            "--no-cache",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0.02" in out

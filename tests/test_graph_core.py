@@ -20,6 +20,59 @@ class TestEdgeKey:
             edge_key("a", "a")
 
 
+class _ConstRepr:
+    """Unorderable objects whose repr does not identify the instance."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "<blob>"
+
+
+class _OtherConstRepr:
+    """A different type with the same repr as :class:`_ConstRepr`."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "<blob>"
+
+
+class TestEdgeKeyMixedTypes:
+    """Regression tests for the documented edge_key fallback contract.
+
+    The seed fallback ordered incomparable endpoints by ``repr`` alone, so two
+    unequal vertices of different types with identical reprs produced two
+    *different* canonical keys for the same undirected edge.  The fallback now
+    orders by (type module, type qualname, repr) and refuses truly
+    indistinguishable pairs.
+    """
+
+    def test_mixed_int_str_is_canonical(self):
+        assert edge_key(1, "1") == edge_key("1", 1)
+        assert edge_key(2, "x") == edge_key("x", 2)
+
+    def test_equal_repr_different_types_is_canonical(self):
+        a, b = _ConstRepr(), _OtherConstRepr()
+        assert edge_key(a, b) == edge_key(b, a)
+
+    def test_indistinguishable_vertices_rejected(self):
+        a, b = _ConstRepr(), _ConstRepr()
+        with pytest.raises(ValueError):
+            edge_key(a, b)
+
+    def test_mixed_graph_round_trips_edges_and_attrs(self):
+        g = Graph()
+        g.add_edge(1, "1", weight=0.5)
+        g.add_edge("a", 2)
+        g.add_edge(1, 2)
+        assert g.has_edge("1", 1)
+        assert g.edge_attr(1, "1", "weight") == 0.5
+        assert g.edge_attr("1", 1, "weight") == 0.5
+        g.set_edge_attr("a", 2, "sign", -1)
+        assert g.edge_attrs(2, "a") == {"sign": -1}
+        assert set(g.edges()) == {edge_key(1, "1"), edge_key("a", 2), edge_key(1, 2)}
+        g.remove_edge("1", 1)
+        assert not g.has_edge(1, "1")
+        assert g.edge_attrs(1, "1") == {}
+
+
 class TestConstruction:
     def test_empty_graph(self):
         g = Graph()
