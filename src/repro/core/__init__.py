@@ -32,7 +32,11 @@ from .chordal import (
     maximal_chordal_subgraph,
     maximum_cardinality_search,
 )
-from .parallel_comm import parallel_chordal_comm_filter, receiver_admit_border_edges
+from .parallel_comm import (
+    parallel_chordal_comm_filter,
+    receiver_admit_border_edges,
+    receiver_admit_border_edges_indices,
+)
 from .quasi import (
     QuasiChordalReport,
     chordality_deficit,
@@ -41,6 +45,7 @@ from .quasi import (
 )
 from .parallel_nocomm import (
     admit_border_edges_no_communication,
+    admit_border_edges_no_communication_indices,
     local_chordal_phase,
     parallel_chordal_nocomm_filter,
 )
@@ -70,7 +75,9 @@ __all__ = [
     "parallel_random_walk_filter",
     "local_chordal_phase",
     "admit_border_edges_no_communication",
+    "admit_border_edges_no_communication_indices",
     "receiver_admit_border_edges",
+    "receiver_admit_border_edges_indices",
     "random_walk_edges",
     # quasi-chordal analysis
     "QuasiChordalReport",

@@ -20,6 +20,16 @@ The communication volume per processor grows with the number of border edges
 ``b`` and the receiver-side admission work is O(b²/d), which is the term that
 makes this variant lose scalability on small graphs with many processors
 (paper Figure 10, YNG at 32+ processors).
+
+**Index-native pipeline.**  As in the no-communication sampler, the graph is
+converted to CSR once; ordering, partitioning, per-rank subgraphs and the
+receiver-side two-pair admission test all run on ``int64`` indices (the
+mutable local view is a plain ``dict[int, set[int]]``), and the merged edge
+set is mapped back to labels exactly once.  Mutual border-edge lists are
+sorted by the ``repr`` of their label form at the boundary so receivers admit
+candidates in the identical sequence as the label-level pipeline — admission
+is order-dependent, and the filter's output must not drift.  The label-level
+:func:`receiver_admit_border_edges` is retained as the behavioural reference.
 """
 
 from __future__ import annotations
@@ -28,20 +38,28 @@ import time
 from collections.abc import Hashable, Sequence
 from typing import Optional
 
+import numpy as np
+
 from ..graph.csr import CSRGraph
 from ..graph.graph import Graph, edge_key
-from ..graph.ordering import get_ordering
-from ..graph.partition import Partition, partition_graph
+from ..graph.partition import Partition
 from ..parallel.comm import SimComm
 from ..parallel.runner import run_spmd
 from ..parallel.timing import RankWork
-from .chordal import chordal_edges_from_csr, edge_insertion_preserves_chordality
+from .chordal import chordal_subgraph_edge_indices, edge_insertion_preserves_chordality
+from .parallel_nocomm import resolve_index_partition
 from .results import FilterResult
+from .sequential import priority_from_permutation, resolve_order_indices
 
-__all__ = ["parallel_chordal_comm_filter", "receiver_admit_border_edges"]
+__all__ = [
+    "parallel_chordal_comm_filter",
+    "receiver_admit_border_edges",
+    "receiver_admit_border_edges_indices",
+]
 
 Vertex = Hashable
 Edge = tuple[Vertex, Vertex]
+IndexEdge = tuple[int, int]
 
 _BORDER_TAG = 7
 
@@ -54,7 +72,8 @@ def receiver_admit_border_edges(
     ``local_graph`` is mutated: every accepted edge (and any previously unseen
     endpoint) is inserted so later candidates are checked against the updated
     subgraph.  Returns the accepted edges and the number of chordality checks
-    performed (for the cost model).
+    performed (for the cost model).  This is the label-level reference; the
+    filter's rank function runs :func:`receiver_admit_border_edges_indices`.
     """
     accepted: list[Edge] = []
     checks = 0
@@ -68,48 +87,111 @@ def receiver_admit_border_edges(
     return accepted, checks
 
 
+# ----------------------------------------------------------------------
+# index-native admission
+# ----------------------------------------------------------------------
+def _insertion_preserves_chordality_indices(
+    adj: dict[int, set[int]], u: int, v: int
+) -> bool:
+    """Two-pair test on an int adjacency dict (mirror of the label version).
+
+    For non-adjacent ``u``/``v`` of a chordal graph, inserting ``{u, v}``
+    keeps it chordal iff ``u`` and ``v`` are disconnected once the common
+    neighbourhood is removed.  Endpoints absent from ``adj`` are isolated —
+    always safe.
+    """
+    au = adj.get(u)
+    av = adj.get(v)
+    if au is None or av is None:
+        return True
+    if v in au:
+        return True
+    common = au & av
+    seen = {u} | common
+    stack = [u]
+    while stack:
+        x = stack.pop()
+        for y in adj[x]:
+            if y == v:
+                return False
+            if y not in seen:
+                seen.add(y)
+                stack.append(y)
+    return True
+
+
+def receiver_admit_border_edges_indices(
+    adj: dict[int, set[int]], candidate_edges: Sequence[IndexEdge]
+) -> tuple[list[IndexEdge], int]:
+    """Index-native receiver admission; mutates ``adj`` like the label version.
+
+    ``adj`` maps vertex index → neighbour set for the rank's current chordal
+    view; accepted candidates are inserted (creating unseen endpoints) so the
+    admission sequence matches :func:`receiver_admit_border_edges` decision
+    for decision.
+    """
+    accepted: list[IndexEdge] = []
+    checks = 0
+    for u, v in candidate_edges:
+        checks += 1
+        nbrs = adj.get(u)
+        if nbrs is not None and v in nbrs:
+            continue
+        if _insertion_preserves_chordality_indices(adj, u, v):
+            adj.setdefault(u, set()).add(v)
+            adj.setdefault(v, set()).add(u)
+            accepted.append((u, v) if u < v else (v, u))
+    return accepted, checks
+
+
 def _rank_function(
     comm: SimComm,
-    part_graph: Graph,
-    part_vertices: list[Vertex],
-    border_by_peer: dict[int, list[Edge]],
-    order: Optional[list[Vertex]],
+    sub_indptr: np.ndarray,
+    sub_indices: np.ndarray,
+    part_idx: np.ndarray,
+    border_by_peer: dict[int, list[IndexEdge]],
+    local_priority: Optional[np.ndarray],
     strict_order: bool,
 ) -> dict:
-    """SPMD body executed by every rank of the with-communication sampler."""
-    # One CSR conversion per rank: the DSW kernel runs int-indexed and the
-    # work counters come from the same view (labels outside this partition
-    # are dropped at the CSR boundary).
-    csr = CSRGraph.from_graph(part_graph)
-    local_edges = chordal_edges_from_csr(csr, order=order, strict_order=strict_order)
+    """SPMD body executed by every rank of the with-communication sampler.
+
+    Runs entirely on vertex indices: the local DSW kernel on the sliced CSR
+    arrays, then peer-wise exchange of mutual border edges (lower rank sends,
+    higher rank receives and admits with the int two-pair test).
+    """
+    k = int(part_idx.shape[0])
+    sub = CSRGraph(sub_indptr, sub_indices, labels=range(k))
+    pairs = chordal_subgraph_edge_indices(sub, priority=local_priority, strict_order=strict_order)
+    part_list = part_idx.tolist()
+    local_edges: list[IndexEdge] = []
+    # Mutable view of this rank's accepted subgraph for admission tests.
+    local_view: dict[int, set[int]] = {i: set() for i in part_list}
+    for i, j in pairs:
+        gi, gj = part_list[i], part_list[j]
+        local_edges.append((gi, gj) if gi < gj else (gj, gi))
+        local_view[gi].add(gj)
+        local_view[gj].add(gi)
 
     work = RankWork(
-        edges_examined=csr.n_edges,
-        chordality_checks=csr.degree_sum(),
+        edges_examined=sub.n_edges,
+        chordality_checks=sub.degree_sum(),
         border_edges=sum(len(v) for v in border_by_peer.values()),
         messages=0,
         items_sent=0,
-        max_degree=max(csr.max_degree(), 1),
+        max_degree=max(sub.max_degree(), 1),
     )
 
-    # Build a mutable view of this rank's accepted subgraph for admission tests.
-    local_view = Graph(edges=local_edges, vertices=part_vertices)
-
-    accepted_border: list[Edge] = []
+    accepted_border: list[IndexEdge] = []
     # Deterministic peer traversal: lower rank sends, higher rank receives.
-    peers = sorted(border_by_peer)
-    for peer in peers:
-        mutual = sorted(border_by_peer[peer], key=repr)
-        if not mutual:
-            # Still participate in the exchange so message counts stay symmetric.
-            pass
+    for peer in sorted(border_by_peer):
+        mutual = border_by_peer[peer]
         if comm.rank < peer:
             comm.send(mutual, dest=peer, tag=_BORDER_TAG)
             work.messages += 1
             work.items_sent += len(mutual)
         else:
             received = comm.recv(source=peer, tag=_BORDER_TAG)
-            admitted, checks = receiver_admit_border_edges(local_view, received)
+            admitted, checks = receiver_admit_border_edges_indices(local_view, received)
             work.chordality_checks += checks
             accepted_border.extend(admitted)
 
@@ -139,51 +221,55 @@ def parallel_chordal_comm_filter(
     if n_partitions < 1:
         raise ValueError(f"n_partitions must be >= 1, got {n_partitions}")
     start = time.perf_counter()
-    order: Optional[list[Vertex]]
-    if explicit_order is not None:
-        order = list(explicit_order)
-        ordering_name = ordering or "explicit"
-    elif ordering is not None:
-        order = get_ordering(ordering)(graph)
-        ordering_name = ordering
-    else:
-        order = None
-        ordering_name = None
+    csr = CSRGraph.from_graph(graph)
+    perm, ordering_name = resolve_order_indices(csr, ordering, explicit_order)
+    ipart = resolve_index_partition(csr, n_partitions, partition_method, partition, perm)
+    position = priority_from_permutation(perm, csr.n_vertices)
+    labels = csr.labels
+    assignment = ipart.assignment
 
-    if partition is None:
-        if partition_method == "block" and order is not None:
-            partition = partition_graph(graph, n_partitions, method="block", order=order)
-        else:
-            partition = partition_graph(graph, n_partitions, method=partition_method)
-
-    # border edges grouped by (owning rank -> peer rank)
-    border_by_rank_peer: list[dict[int, list[Edge]]] = [dict() for _ in range(partition.n_parts)]
-    for u, v in partition.border_edges:
-        pu, pv = partition.part_of(u), partition.part_of(v)
-        border_by_rank_peer[pu].setdefault(pv, []).append(edge_key(u, v))
-        border_by_rank_peer[pv].setdefault(pu, []).append(edge_key(u, v))
+    # Border edges grouped by (owning rank -> peer rank).  Each mutual list is
+    # sorted by the repr of its canonical label form — the exact candidate
+    # sequence of the label-level pipeline, on which admission order (and
+    # hence the output edge set) depends.
+    bu, bv = ipart.border_edges()
+    border_by_rank_peer: list[dict[int, list[tuple[str, IndexEdge]]]] = [
+        dict() for _ in range(ipart.n_parts)
+    ]
+    for u, v in zip(bu.tolist(), bv.tolist()):
+        pu, pv = int(assignment[u]), int(assignment[v])
+        sort_key = repr(edge_key(labels[u], labels[v]))
+        border_by_rank_peer[pu].setdefault(pv, []).append((sort_key, (u, v)))
+        border_by_rank_peer[pv].setdefault(pu, []).append((sort_key, (u, v)))
 
     rank_args = []
-    for rank in range(partition.n_parts):
+    for rank in range(ipart.n_parts):
+        part_idx = ipart.part_indices(rank)
+        sub = csr.induced_subgraph(part_idx)
+        by_peer = {
+            peer: [e for _, e in sorted(entries)]
+            for peer, entries in border_by_rank_peer[rank].items()
+        }
         rank_args.append(
             (
-                partition.part_subgraph(rank),
-                partition.parts[rank],
-                border_by_rank_peer[rank],
-                order,
+                sub.indptr,
+                sub.indices,
+                part_idx,
+                by_peer,
+                None if position is None else position[part_idx],
                 strict_order,
             )
         )
 
-    backend = "thread" if partition.n_parts > 1 else "serial"
-    report = run_spmd(_rank_function, partition.n_parts, rank_args=rank_args, backend=backend)
+    backend = "thread" if ipart.n_parts > 1 else "serial"
+    report = run_spmd(_rank_function, ipart.n_parts, rank_args=rank_args, backend=backend)
 
-    all_local: list[Edge] = []
-    accepted_border: list[Edge] = []
-    seen_border: set[Edge] = set()
+    all_local: list[IndexEdge] = []
+    accepted_border_idx: list[IndexEdge] = []
+    seen_border: set[IndexEdge] = set()
     duplicates = 0
     works: list[RankWork] = []
-    for rank_out, stats in zip(report.values, (r.stats for r in report.results)):
+    for rank_out in report.values:
         all_local.extend(rank_out["local_edges"])
         works.append(rank_out["work"])
         for e in rank_out["accepted_border"]:
@@ -191,9 +277,14 @@ def parallel_chordal_comm_filter(
                 duplicates += 1
             else:
                 seen_border.add(e)
-                accepted_border.append(e)
+                accepted_border_idx.append(e)
 
-    kept_edges = list(dict.fromkeys(all_local + accepted_border))
+    # The single index→label mapping of the whole pipeline.
+    all_local_edges = [edge_key(labels[i], labels[j]) for i, j in dict.fromkeys(all_local)]
+    accepted_border = [edge_key(labels[i], labels[j]) for i, j in accepted_border_idx]
+    border_edges = [edge_key(labels[int(u)], labels[int(v)]) for u, v in zip(bu, bv)]
+
+    kept_edges = list(dict.fromkeys(all_local_edges + accepted_border))
     filtered = graph.spanning_subgraph(kept_edges)
     wall = time.perf_counter() - start
 
@@ -202,9 +293,9 @@ def parallel_chordal_comm_filter(
         original=graph,
         method="chordal_comm",
         ordering=ordering_name,
-        n_partitions=partition.n_parts,
+        n_partitions=ipart.n_parts,
         partition_method=partition_method,
-        border_edges=list(partition.border_edges),
+        border_edges=border_edges,
         accepted_border_edges=accepted_border,
         duplicate_border_edges=duplicates,
         rank_work=works,

@@ -21,6 +21,17 @@ reported — the paper bounds it by ``b``, the number of border edges.  Border
 edges can also close a few long cycles across partitions, producing a
 *quasi-chordal subgraph* (QCS); an optional repair pass deletes border edges
 until no fundamental cycle longer than a triangle survives among them.
+
+**Index-native pipeline.**  The filter converts the graph to CSR exactly once;
+ordering (:func:`repro.graph.ordering.ordering_indices`), partitioning
+(:class:`repro.graph.partition.IndexPartition`), per-rank subgraphs
+(:meth:`CSRGraph.induced_subgraph` array slicing) and border admission all run
+on ``int64`` vertex indices.  Rank payloads are plain numpy arrays — cheap to
+pickle for the ``process`` backend — and labels reappear exactly once, when
+the merged edge set is mapped back at the end.  The label-level helpers
+(:func:`local_chordal_phase`, :func:`admit_border_edges_no_communication`)
+are retained as the behavioural reference; the property suite pins the index
+path to them.
 """
 
 from __future__ import annotations
@@ -29,26 +40,38 @@ import time
 from collections.abc import Hashable, Sequence
 from typing import Optional
 
+import numpy as np
+
 from ..graph.csr import CSRGraph
 from ..graph.cycles import cycle_basis_sizes
 from ..graph.graph import Graph, edge_key
-from ..graph.ordering import get_ordering
-from ..graph.partition import Partition, partition_graph
+from ..graph.partition import (
+    IndexPartition,
+    Partition,
+    block_partition_indices,
+    index_partition_graph,
+)
 from ..parallel.runner import parallel_map
 from ..parallel.timing import RankWork
-from .chordal import chordal_edges_from_csr
+from .chordal import chordal_edges_from_csr, chordal_subgraph_edge_indices
 from .results import FilterResult
+from .sequential import priority_from_permutation, resolve_order_indices
 
 __all__ = [
     "parallel_chordal_nocomm_filter",
     "local_chordal_phase",
     "admit_border_edges_no_communication",
+    "admit_border_edges_no_communication_indices",
 ]
 
 Vertex = Hashable
 Edge = tuple[Vertex, Vertex]
+IndexEdge = tuple[int, int]
 
 
+# ----------------------------------------------------------------------
+# label-level reference helpers (seed semantics, kept for tests / compat)
+# ----------------------------------------------------------------------
 def local_chordal_phase(
     part_graph: Graph,
     order: Optional[Sequence[Vertex]] = None,
@@ -58,8 +81,8 @@ def local_chordal_phase(
 
     ``order`` is the global vertex ordering (labels outside this partition are
     ignored by the CSR boundary); the work counters feed the scalability cost
-    model.  The partition subgraph is converted to CSR once, and both the DSW
-    kernel and the counters run on that view.
+    model.  This is the label-level reference path — the filter itself runs
+    :func:`_rank_task_indices` on sliced CSR arrays instead.
     """
     csr = CSRGraph.from_graph(part_graph)
     edges = chordal_edges_from_csr(csr, order=order, strict_order=strict_order)
@@ -79,7 +102,7 @@ def admit_border_edges_no_communication(
     part_vertices: set[Vertex],
     local_chordal_edges: set[Edge],
 ) -> list[Edge]:
-    """Apply the triangle rule to one rank's border edges.
+    """Apply the triangle rule to one rank's border edges (label-level reference).
 
     ``rank_border_edges`` are the border edges with at least one endpoint in
     this rank's partition.  For every *external* vertex ``x`` the rank looks at
@@ -120,22 +143,110 @@ def admit_border_edges_no_communication(
     return sorted(admitted, key=repr)
 
 
-def _rank_task(
-    part_graph: Graph,
-    part_vertices: list[Vertex],
-    rank_border_edges: list[Edge],
-    order: Optional[list[Vertex]],
+# ----------------------------------------------------------------------
+# index-native rank path
+# ----------------------------------------------------------------------
+def admit_border_edges_no_communication_indices(
+    border_u: np.ndarray,
+    border_v: np.ndarray,
+    u_internal: np.ndarray,
+    v_internal: np.ndarray,
+    chordal_adj: dict[int, set[int]],
+) -> list[IndexEdge]:
+    """Triangle-rule border admission on vertex indices.
+
+    ``border_u/border_v`` are this rank's border edges (global indices);
+    ``u_internal/v_internal`` are aligned booleans marking which endpoint lies
+    inside the partition.  ``chordal_adj`` is the adjacency of the rank's
+    local chordal edges.  Returns the admitted edges as sorted canonical
+    ``(min, max)`` index pairs — the same edge *set* the label-level
+    reference produces, without any ``repr`` canonicalisation.
+    """
+    by_external: dict[int, list[int]] = {}
+    for u, v, ui, vi in zip(border_u.tolist(), border_v.tolist(), u_internal.tolist(), v_internal.tolist()):
+        if ui and not vi:
+            by_external.setdefault(v, []).append(u)
+        elif vi and not ui:
+            by_external.setdefault(u, []).append(v)
+    admitted: set[IndexEdge] = set()
+    for external, internals in by_external.items():
+        if len(internals) < 2:
+            continue
+        internal_set = set(internals)
+        for a in internals:
+            adj = chordal_adj.get(a)
+            if not adj:
+                continue
+            # every b in internals ∩ adj(a) closes the triangle external-a-b
+            for b in internal_set & adj:
+                admitted.add((external, a) if external < a else (a, external))
+                admitted.add((external, b) if external < b else (b, external))
+    return sorted(admitted)
+
+
+def _rank_task_indices(
+    sub_indptr: np.ndarray,
+    sub_indices: np.ndarray,
+    part_idx: np.ndarray,
+    border_u: np.ndarray,
+    border_v: np.ndarray,
+    u_internal: np.ndarray,
+    v_internal: np.ndarray,
+    local_priority: Optional[np.ndarray],
     strict_order: bool,
-) -> tuple[list[Edge], list[Edge], RankWork]:
-    """The full per-rank computation (local phase + border admission)."""
-    local_edges, work = local_chordal_phase(part_graph, order=order, strict_order=strict_order)
-    part_set = set(part_vertices)
-    admitted = admit_border_edges_no_communication(rank_border_edges, part_set, set(local_edges))
-    work.border_edges = len(rank_border_edges)
-    # Admission examines each (external, internal-pair) combination; count the
-    # pairwise comparisons as extra examined edges for the cost model.
-    work.edges_examined += len(rank_border_edges)
+) -> tuple[list[IndexEdge], list[IndexEdge], RankWork]:
+    """The full per-rank computation on CSR arrays (local phase + admission).
+
+    All arguments are numpy arrays (plus one bool), so the ``process``
+    backend pickles compact buffers instead of ``Graph`` objects.  Returned
+    edges are canonical global-index pairs.
+    """
+    k = int(part_idx.shape[0])
+    sub = CSRGraph(sub_indptr, sub_indices, labels=range(k))
+    pairs = chordal_subgraph_edge_indices(sub, priority=local_priority, strict_order=strict_order)
+    part_list = part_idx.tolist()
+    local_edges: list[IndexEdge] = []
+    chordal_adj: dict[int, set[int]] = {}
+    for i, j in pairs:
+        gi, gj = part_list[i], part_list[j]
+        local_edges.append((gi, gj) if gi < gj else (gj, gi))
+        chordal_adj.setdefault(gi, set()).add(gj)
+        chordal_adj.setdefault(gj, set()).add(gi)
+    admitted = admit_border_edges_no_communication_indices(
+        border_u, border_v, u_internal, v_internal, chordal_adj
+    )
+    n_border = int(border_u.shape[0])
+    work = RankWork(
+        # Admission examines each border edge; count them as extra examined
+        # edges for the cost model (mirrors the label-level pipeline).
+        edges_examined=sub.n_edges + n_border,
+        chordality_checks=sub.degree_sum(),
+        border_edges=n_border,
+        messages=0,
+        items_sent=0,
+        max_degree=max(sub.max_degree(), 1),
+    )
     return local_edges, admitted, work
+
+
+def resolve_index_partition(
+    csr: CSRGraph,
+    n_partitions: int,
+    partition_method: str,
+    partition: Optional[Partition],
+    perm: Optional[np.ndarray],
+) -> IndexPartition:
+    """Choose the index partition for a parallel filter run.
+
+    An explicit label-level ``partition`` wins (converted to its index view);
+    otherwise a block partition follows the ordering permutation when one was
+    requested, and any other method runs index-native directly.
+    """
+    if partition is not None:
+        return IndexPartition.from_partition(partition, csr)
+    if partition_method == "block" and perm is not None:
+        return block_partition_indices(csr, n_partitions, order=perm)
+    return index_partition_graph(csr, n_partitions, method=partition_method)
 
 
 def parallel_chordal_nocomm_filter(
@@ -171,70 +282,66 @@ def parallel_chordal_nocomm_filter(
     backend:
         ``"serial"`` (default) or ``"process"`` — the ranks are independent, so
         they can run through :func:`repro.parallel.parallel_map` on real
-        processes when available.
+        processes when available (rank payloads are CSR arrays, not graphs).
     """
     if n_partitions < 1:
         raise ValueError(f"n_partitions must be >= 1, got {n_partitions}")
     start = time.perf_counter()
-    order: Optional[list[Vertex]]
-    if explicit_order is not None:
-        order = list(explicit_order)
-        ordering_name = ordering or "explicit"
-    elif ordering is not None:
-        order = get_ordering(ordering)(graph)
-        ordering_name = ordering
-    else:
-        order = None
-        ordering_name = None
-
-    if partition is None:
-        if partition_method == "block" and order is not None:
-            partition = partition_graph(graph, n_partitions, method="block", order=order)
-        else:
-            partition = partition_graph(graph, n_partitions, method=partition_method)
+    csr = CSRGraph.from_graph(graph)
+    perm, ordering_name = resolve_order_indices(csr, ordering, explicit_order)
+    ipart = resolve_index_partition(csr, n_partitions, partition_method, partition, perm)
+    position = priority_from_permutation(perm, csr.n_vertices)
 
     items = []
-    for rank in range(partition.n_parts):
-        part_graph = partition.part_subgraph(rank)
+    assignment = ipart.assignment
+    for rank in range(ipart.n_parts):
+        part_idx = ipart.part_indices(rank)
+        sub = csr.induced_subgraph(part_idx)
+        bu, bv = ipart.border_edges_of(rank)
         items.append(
             (
-                part_graph,
-                partition.parts[rank],
-                partition.border_edges_of(rank),
-                order,
+                sub.indptr,
+                sub.indices,
+                part_idx,
+                bu,
+                bv,
+                assignment[bu] == rank,
+                assignment[bv] == rank,
+                None if position is None else position[part_idx],
                 strict_order,
             )
         )
-    rank_outputs = parallel_map(_rank_task, items, backend=backend, processes=processes)
+    rank_outputs = parallel_map(_rank_task_indices, items, backend=backend, processes=processes)
 
-    all_local: list[Edge] = []
-    admitted_by_rank: list[list[Edge]] = []
+    all_local: list[IndexEdge] = []
     works: list[RankWork] = []
+    seen_border: set[IndexEdge] = set()
+    duplicates = 0
+    accepted_border_idx: list[IndexEdge] = []
     for local_edges, admitted, work in rank_outputs:
         all_local.extend(local_edges)
-        admitted_by_rank.append(admitted)
         works.append(work)
-
-    # Sequential merge: union of local chordal edges plus admitted border
-    # edges; border edges admitted by both owning ranks are duplicates.
-    seen_border: set[Edge] = set()
-    duplicates = 0
-    accepted_border: list[Edge] = []
-    for admitted in admitted_by_rank:
         for e in admitted:
             if e in seen_border:
                 duplicates += 1
             else:
                 seen_border.add(e)
-                accepted_border.append(e)
+                accepted_border_idx.append(e)
+
+    # The single index→label mapping of the whole pipeline.
+    labels = csr.labels
+    all_local_edges = [edge_key(labels[i], labels[j]) for i, j in dict.fromkeys(all_local)]
+    accepted_border = [edge_key(labels[i], labels[j]) for i, j in accepted_border_idx]
+    bu, bv = ipart.border_edges()
+    border_edges = [edge_key(labels[int(u)], labels[int(v)]) for u, v in zip(bu, bv)]
 
     removed_for_cycles: list[Edge] = []
     if repair_cycles and accepted_border:
         accepted_border, removed_for_cycles = _repair_border_cycles(
-            all_local, accepted_border
+            all_local_edges, accepted_border
         )
 
-    kept_edges = list(dict.fromkeys(all_local + accepted_border))
+    kept_edges = list(dict.fromkeys(all_local_edges + accepted_border))
     filtered = graph.spanning_subgraph(kept_edges)
     wall = time.perf_counter() - start
 
@@ -244,9 +351,9 @@ def parallel_chordal_nocomm_filter(
         original=graph,
         method="chordal_nocomm",
         ordering=ordering_name,
-        n_partitions=partition.n_parts,
-        partition_method=partition_method if partition is not None else None,
-        border_edges=list(partition.border_edges),
+        n_partitions=ipart.n_parts,
+        partition_method=partition_method,
+        border_edges=border_edges,
         accepted_border_edges=accepted_border,
         duplicate_border_edges=duplicates,
         rank_work=works,

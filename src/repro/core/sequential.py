@@ -5,6 +5,12 @@ against: the sequential maximal chordal subgraph filter (the "1P" runs of the
 paper's Figure 11) and a sequential random walk.  Both return
 :class:`~repro.core.results.FilterResult` objects with single-rank work
 counters so they slot into the same cost model as the parallel runs.
+
+Both filters are *index-native*: the graph is converted to the CSR kernel
+once, the ordering is computed directly on indices
+(:func:`repro.graph.ordering.ordering_indices`), the kernel runs on plain
+integers, and labels reappear exactly once — when the kept edge set is mapped
+back at the end.
 """
 
 from __future__ import annotations
@@ -17,14 +23,22 @@ import numpy as np
 
 from ..graph.csr import CSRGraph
 from ..graph.graph import Graph, edge_key
-from ..graph.ordering import get_ordering
+from ..graph.ordering import get_ordering, ordering_indices
 from ..parallel.timing import RankWork
-from .chordal import chordal_edges_from_csr
+from .chordal import chordal_subgraph_edge_indices
 from .results import FilterResult
 
-__all__ = ["sequential_chordal_filter", "sequential_random_walk_filter", "resolve_order"]
+__all__ = [
+    "sequential_chordal_filter",
+    "sequential_random_walk_filter",
+    "resolve_order",
+    "resolve_order_indices",
+]
 
 Vertex = Hashable
+
+#: How many uniform deviates the random walk draws per RNG call.
+RANDOM_WALK_RNG_BATCH = 4096
 
 
 def resolve_order(
@@ -44,6 +58,46 @@ def resolve_order(
         return None, None
     fn = get_ordering(ordering)
     return fn(graph), ordering
+
+
+def resolve_order_indices(
+    csr: CSRGraph,
+    ordering: Optional[str],
+    explicit_order: Optional[Sequence[Vertex]] = None,
+) -> tuple[Optional[np.ndarray], Optional[str]]:
+    """Index-native :func:`resolve_order`: returns ``(permutation, name)``.
+
+    The permutation is an ``int64`` array over CSR vertex indices (``None``
+    when neither an ordering nor an explicit order was requested).  An
+    ``explicit_order`` is given in labels — this is the single place the
+    sampler pipelines translate it to indices.
+    """
+    if explicit_order is not None:
+        order = list(explicit_order)
+        n = csr.n_vertices
+        index = csr.label_index
+        if len(order) != n or not all(v in index for v in order):
+            raise ValueError("explicit order must be a permutation of the graph's vertex set")
+        perm = np.fromiter((index[v] for v in order), dtype=np.int64, count=n)
+        if np.unique(perm).shape[0] != n:
+            raise ValueError("explicit order must be a permutation of the graph's vertex set")
+        return perm, ordering or "explicit"
+    if ordering is None:
+        return None, None
+    return ordering_indices(ordering, csr), ordering
+
+
+def priority_from_permutation(perm: Optional[np.ndarray], n: int) -> Optional[np.ndarray]:
+    """Invert an ordering permutation into the per-vertex priority array.
+
+    ``priority[v]`` is the position of vertex ``v`` in the ordering — the form
+    the DSW kernel consumes.  ``None`` passes through (natural order).
+    """
+    if perm is None:
+        return None
+    priority = np.empty(n, dtype=np.int64)
+    priority[perm] = np.arange(n, dtype=np.int64)
+    return priority
 
 
 def sequential_chordal_filter(
@@ -67,10 +121,14 @@ def sequential_chordal_filter(
         maximum-|S| rule (see :func:`repro.core.chordal.chordal_subgraph_edges`).
     """
     start = time.perf_counter()
-    order, name = resolve_order(graph, ordering, explicit_order)
-    # One CSR conversion serves the extraction kernel and the work counters.
+    # One CSR conversion serves the ordering, the extraction kernel and the
+    # work counters; labels reappear only in the final edge mapping.
     csr = CSRGraph.from_graph(graph)
-    edges = chordal_edges_from_csr(csr, order=order, strict_order=strict_order)
+    perm, name = resolve_order_indices(csr, ordering, explicit_order)
+    priority = priority_from_permutation(perm, csr.n_vertices)
+    pairs = chordal_subgraph_edge_indices(csr, priority=priority, strict_order=strict_order)
+    labels = csr.labels
+    edges = [edge_key(labels[i], labels[j]) for i, j in pairs]
     filtered = graph.spanning_subgraph(edges)
     wall = time.perf_counter() - start
     work = RankWork(
@@ -108,27 +166,54 @@ def sequential_random_walk_filter(
     repeatedly.  The walk stops once the number of *selections* (with
     repetition) reaches ``selection_fraction`` × |E|.  Walks restart from a
     uniformly random vertex whenever the current vertex is isolated.
+
+    The walk runs on the CSR view and draws its randomness in batches of
+    ``RANDOM_WALK_RNG_BATCH`` uniform deviates (one ``rng.random`` call per
+    batch, each step mapping one deviate onto ``0..d-1``) instead of one
+    ``rng.integers`` call per step.  **The random stream therefore differs
+    from the seed implementation** for the same seed; the result records
+    ``extra["rng_stream"] = "batched-uniform-v2"`` and
+    ``tests/test_sequential_filters.py::TestBatchedRandomWalkStream`` pins
+    the new stream with exact-edge-set regression tests.
     """
     if not 0.0 < selection_fraction <= 1.0:
         raise ValueError("selection_fraction must lie in (0, 1]")
     start = time.perf_counter()
     rng = np.random.default_rng(seed)
-    vertices = graph.vertices()
-    kept: set[tuple[Vertex, Vertex]] = set()
+    csr = CSRGraph.from_graph(graph)
+    n = csr.n_vertices
+    rows = csr.neighbor_lists()
+    kept: set[tuple[int, int]] = set()
     selections = 0
-    target = int(selection_fraction * graph.n_edges)
-    if vertices and graph.n_edges:
-        current = vertices[int(rng.integers(0, len(vertices)))]
+    target = int(selection_fraction * csr.n_edges)
+    if n and csr.n_edges:
+        batch = rng.random(RANDOM_WALK_RNG_BATCH)
+        pos = 0
+
+        def draw() -> float:
+            nonlocal batch, pos
+            if pos == RANDOM_WALK_RNG_BATCH:
+                batch = rng.random(RANDOM_WALK_RNG_BATCH)
+                pos = 0
+            value = batch[pos]
+            pos += 1
+            return value
+
+        current = int(draw() * n)
         while selections < target:
-            nbrs = graph.neighbors(current)
-            if not nbrs:
-                current = vertices[int(rng.integers(0, len(vertices)))]
+            row = rows[current]
+            d = len(row)
+            if not d:
+                current = int(draw() * n)
                 continue
-            nxt = nbrs[int(rng.integers(0, len(nbrs)))]
-            kept.add(edge_key(current, nxt))
+            nxt = row[int(draw() * d)]
+            kept.add((current, nxt) if current < nxt else (nxt, current))
             selections += 1
             current = nxt
-    filtered = graph.spanning_subgraph(kept)
+    labels = csr.labels
+    filtered = graph.spanning_subgraph(
+        edge_key(labels[i], labels[j]) for i, j in kept
+    )
     wall = time.perf_counter() - start
     work = RankWork(
         edges_examined=selections,
@@ -136,7 +221,7 @@ def sequential_random_walk_filter(
         border_edges=0,
         messages=0,
         items_sent=0,
-        max_degree=graph.max_degree(),
+        max_degree=csr.max_degree(),
     )
     result = FilterResult(
         graph=filtered,
@@ -146,7 +231,13 @@ def sequential_random_walk_filter(
         n_partitions=1,
         rank_work=[work],
         wall_time=wall,
-        extra={"seed": seed, "selection_fraction": selection_fraction, "selections": selections},
+        extra={
+            "seed": seed,
+            "selection_fraction": selection_fraction,
+            "selections": selections,
+            "rng_stream": "batched-uniform-v2",
+            "rng_batch": RANDOM_WALK_RNG_BATCH,
+        },
     )
     result.compute_simulated_time(with_communication=False)
     return result

@@ -54,7 +54,16 @@ class CSRGraph:
         The original vertex labels, ``labels[i]`` naming vertex ``i``.
     """
 
-    __slots__ = ("indptr", "indices", "labels", "_label_index", "_packed", "_rows", "_row_sets")
+    __slots__ = (
+        "indptr",
+        "indices",
+        "labels",
+        "_label_index",
+        "_packed",
+        "_rows",
+        "_row_sets",
+        "_edge_arr",
+    )
 
     def __init__(
         self,
@@ -83,6 +92,7 @@ class CSRGraph:
         object.__setattr__(self, "_packed", None)
         object.__setattr__(self, "_rows", None)
         object.__setattr__(self, "_row_sets", None)
+        object.__setattr__(self, "_edge_arr", None)
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("CSRGraph is frozen; build a new one instead of mutating")
@@ -267,17 +277,78 @@ class CSRGraph:
 
         Each edge is reported from the endpoint whose row mentions it first,
         mirroring :meth:`Graph.iter_edges` determinism (but on indices).
+
+        A CSR built from a simple :class:`Graph` stores every undirected edge
+        in *both* endpoint rows, so in a row-major scan the first mention of
+        ``{i, j}`` is always in the row of the smaller endpoint — the ``j > i``
+        filter reports exactly the first mentions, no O(E) dedup set needed.
+        (Hand-built non-symmetric ``indptr/indices`` break this invariant the
+        same way they already break :attr:`n_edges`.)
         """
         indptr, indices = self.indptr, self.indices
-        seen: set[int] = set()
-        n = self.n_vertices
-        for i in range(n):
+        for i in range(self.n_vertices):
             for j in indices[indptr[i] : indptr[i + 1]]:
-                j = int(j)
-                key = (i * n + j) if i < j else (j * n + i)
-                if key not in seen:
-                    seen.add(key)
-                    yield (i, j)
+                if j > i:
+                    yield (i, int(j))
+
+    def edge_array(self) -> tuple[np.ndarray, np.ndarray]:
+        """All undirected edges as two aligned ``int64`` arrays ``(us, vs)``.
+
+        Each edge appears exactly once with ``us[k] < vs[k]``, in the same
+        order :meth:`edge_indices` yields (row-major by smaller endpoint).
+        Built once and cached; treat the arrays as read-only.  Relies on the
+        symmetric-CSR invariant described in :meth:`edge_indices`.
+        """
+        cached = self._edge_arr
+        if cached is None:
+            rows = np.repeat(np.arange(self.n_vertices, dtype=np.int64), self.degrees())
+            mask = rows < self.indices
+            cached = (rows[mask], self.indices[mask])
+            cached[0].setflags(write=False)
+            cached[1].setflags(write=False)
+            object.__setattr__(self, "_edge_arr", cached)
+        return cached
+
+    def induced_subgraph(self, part_indices: Sequence[int]) -> "CSRGraph":
+        """Slice the CSR arrays down to the subgraph induced by ``part_indices``.
+
+        ``part_indices`` must be distinct, in-range vertex indices; the result
+        renumbers them ``0 .. k-1`` *in the given order* and keeps each row's
+        surviving neighbours in their original row order — exactly the CSR that
+        ``CSRGraph.from_graph(graph.subgraph(...))`` would describe, but built
+        by pure array slicing so per-rank code never rebuilds a :class:`Graph`
+        and re-converts.
+        """
+        sub = np.ascontiguousarray(part_indices, dtype=np.int64)
+        n = self.n_vertices
+        k = int(sub.shape[0])
+        if k and (sub.min() < 0 or sub.max() >= n):
+            raise ValueError("part_indices contain out-of-range vertex ids")
+        if np.unique(sub).shape[0] != k:
+            raise ValueError("part_indices contain duplicates")
+        new_id = np.full(n, -1, dtype=np.int64)
+        new_id[sub] = np.arange(k, dtype=np.int64)
+        starts = self.indptr[sub]
+        counts = self.indptr[sub + 1] - starts
+        total = int(counts.sum())
+        if total:
+            # Gather the concatenated neighbour rows of ``sub`` with one fancy
+            # index: out[t] comes from indices[starts[r] + offset-within-row].
+            row_base = np.zeros(k, dtype=np.int64)
+            np.cumsum(counts[:-1], out=row_base[1:])
+            take = np.repeat(starts - row_base, counts) + np.arange(total, dtype=np.int64)
+            mapped = new_id[self.indices[take]]
+            keep = mapped >= 0
+            row_of = np.repeat(np.arange(k, dtype=np.int64), counts)
+            new_counts = np.bincount(row_of[keep], minlength=k)
+            new_indices = mapped[keep]
+        else:
+            new_counts = np.zeros(k, dtype=np.int64)
+            new_indices = np.empty(0, dtype=np.int64)
+        new_indptr = np.zeros(k + 1, dtype=np.int64)
+        np.cumsum(new_counts, out=new_indptr[1:])
+        labels = tuple(self.labels[int(i)] for i in sub)
+        return CSRGraph(new_indptr, new_indices, labels)
 
     # ------------------------------------------------------------------
     # dunder protocol

@@ -14,9 +14,19 @@ evaluates four orderings:
     Reverse Cuthill–McKee, which numbers closely connected vertices
     consecutively to reduce the bandwidth of the adjacency matrix.
 
-Every function returns a list containing *all* vertices of the graph exactly
-once; callers apply the ordering either by permuting the graph
-(:func:`permute_graph`) or by feeding the order directly to the samplers.
+Since the index-native pipeline rewrite the orderings are *computed on the
+CSR kernel*: each has a ``*_order_indices`` function that takes a
+:class:`~repro.graph.csr.CSRGraph` and returns an ``int64`` permutation of
+``0 .. n-1`` (vectorised ``np.argsort``/``np.lexsort`` for the degree
+orders, an array-queue Cuthill–McKee for RCM).  The label-level functions
+(``high_degree_order`` …) are thin boundary wrappers — convert, permute,
+map back — and the original label-and-dict implementations are retained as
+``reference_*`` so the property suite can pin the index kernels to the seed
+semantics, including their ``repr``/``str`` tie-breaking.
+
+Every function returns all vertices of the graph exactly once; callers apply
+the ordering either by permuting the graph (:func:`permute_graph`) or by
+feeding the order directly to the samplers.
 """
 
 from __future__ import annotations
@@ -25,6 +35,9 @@ from collections import deque
 from collections.abc import Hashable, Sequence
 from typing import Callable, Optional
 
+import numpy as np
+
+from .csr import CSRGraph
 from .graph import Graph
 from .traversal import pseudo_peripheral_vertex
 
@@ -40,15 +53,19 @@ __all__ = [
     "ordering_names",
     "permute_graph",
     "is_permutation_of_vertices",
+    "natural_order_indices",
+    "high_degree_order_indices",
+    "low_degree_order_indices",
+    "rcm_order_indices",
+    "ordering_indices",
+    "label_sort_ranks",
+    "reference_high_degree_order",
+    "reference_low_degree_order",
+    "reference_rcm_order",
 ]
 
 Vertex = Hashable
 OrderingFn = Callable[[Graph], list[Vertex]]
-
-
-def natural_order(graph: Graph) -> list[Vertex]:
-    """Return vertices in their insertion ("nomenclature") order."""
-    return graph.vertices()
 
 
 def _stable_key(v: Vertex) -> str:
@@ -56,13 +73,246 @@ def _stable_key(v: Vertex) -> str:
     return repr(v)
 
 
+def label_sort_ranks(csr: CSRGraph, key: Callable[[Vertex], str] = repr) -> np.ndarray:
+    """Rank of every vertex when the labels are sorted by ``key`` (default ``repr``).
+
+    The seed orderings break degree ties by ``repr`` (and the RCM
+    pseudo-peripheral step by ``str``); the index kernels reproduce those
+    label-dependent tie-breaks by consuming this precomputed rank array —
+    one ``key`` call per vertex at the boundary instead of one per
+    comparison inside the loops.
+    """
+    n = csr.n_vertices
+    labels = csr.labels
+    order = sorted(range(n), key=lambda i: key(labels[i]))
+    ranks = np.empty(n, dtype=np.int64)
+    ranks[np.asarray(order, dtype=np.int64)] = np.arange(n, dtype=np.int64)
+    return ranks
+
+
+# ----------------------------------------------------------------------
+# index-native orderings (CSR in, int64 permutation out)
+# ----------------------------------------------------------------------
+def natural_order_indices(csr: CSRGraph) -> np.ndarray:
+    """Vertices in their insertion ("nomenclature") order: ``0 .. n-1``."""
+    return np.arange(csr.n_vertices, dtype=np.int64)
+
+
+def high_degree_order_indices(csr: CSRGraph, tie: Optional[np.ndarray] = None) -> np.ndarray:
+    """Indices sorted by descending degree (ties broken by label ``repr``)."""
+    if tie is None:
+        tie = label_sort_ranks(csr)
+    return np.lexsort((tie, -csr.degrees())).astype(np.int64)
+
+
+def low_degree_order_indices(csr: CSRGraph, tie: Optional[np.ndarray] = None) -> np.ndarray:
+    """Indices sorted by ascending degree (ties broken by label ``repr``)."""
+    if tie is None:
+        tie = label_sort_ranks(csr)
+    return np.lexsort((tie, csr.degrees())).astype(np.int64)
+
+
+def _gather_rows(indptr: np.ndarray, indices: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """Concatenated neighbour rows of ``rows`` as one array (vectorised gather)."""
+    starts = indptr[rows]
+    counts = indptr[rows + 1] - starts
+    total = int(counts.sum())
+    if not total:
+        return np.empty(0, dtype=np.int64)
+    base = np.zeros(rows.shape[0], dtype=np.int64)
+    np.cumsum(counts[:-1], out=base[1:])
+    take = np.repeat(starts - base, counts) + np.arange(total, dtype=np.int64)
+    return indices[take]
+
+
+def _bfs_level_structure(
+    indptr: np.ndarray, indices: np.ndarray, n: int, source: int
+) -> list[np.ndarray]:
+    """BFS levels from ``source`` as index arrays (level *content* only).
+
+    Within a level the vertices are in sorted index order — level membership
+    is what the pseudo-peripheral heuristic consumes, and distance sets are
+    iteration-order independent.
+    """
+    visited = np.zeros(n, dtype=bool)
+    visited[source] = True
+    frontier = np.array([source], dtype=np.int64)
+    levels = [frontier]
+    while True:
+        nbrs = _gather_rows(indptr, indices, frontier)
+        nxt = np.unique(nbrs[~visited[nbrs]]) if nbrs.size else nbrs
+        if not nxt.size:
+            return levels
+        visited[nxt] = True
+        levels.append(nxt)
+        frontier = nxt
+
+
+def _pseudo_peripheral_index(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    n: int,
+    start: int,
+    deg: np.ndarray,
+    str_ranks: np.ndarray,
+) -> int:
+    """George–Liu pseudo-peripheral vertex on indices.
+
+    Mirrors :func:`repro.graph.traversal.pseudo_peripheral_vertex` exactly:
+    the minimum-degree vertex of the last BFS level (ties by label ``str``,
+    via ``str_ranks``) until the eccentricity stops growing.
+    """
+    levels = _bfs_level_structure(indptr, indices, n, start)
+    ecc = len(levels) - 1
+    while True:
+        last = levels[-1]
+        candidate = int(last[np.lexsort((str_ranks[last], deg[last]))[0]])
+        new_levels = _bfs_level_structure(indptr, indices, n, candidate)
+        new_ecc = len(new_levels) - 1
+        if new_ecc <= ecc:
+            return candidate
+        levels, ecc = new_levels, new_ecc
+
+
+def rcm_order_indices(csr: CSRGraph, start: Optional[int] = None) -> np.ndarray:
+    """Reverse Cuthill–McKee on the CSR kernel; returns an ``int64`` permutation.
+
+    Each connected component is numbered from a pseudo-peripheral vertex with
+    the classic Cuthill–McKee array-queue BFS (unvisited neighbours appended
+    in ascending ``(degree, repr-rank)`` order) and the concatenated numbering
+    is reversed.  Isolated vertices keep their relative natural order in the
+    CM numbering, exactly as the seed implementation
+    (:func:`reference_rcm_order`) treats them.  ``start``, when given, is the
+    *index* of a preferred starting vertex: it short-circuits the
+    pseudo-peripheral search for its component iff it is that component's
+    first natural vertex (seed semantics).
+    """
+    n = csr.n_vertices
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    indptr, indices = csr.indptr, csr.indices
+    deg = csr.degrees()
+    repr_ranks = label_sort_ranks(csr, repr)
+    str_ranks = label_sort_ranks(csr, str)
+    visited = np.zeros(n, dtype=bool)
+    cm = np.empty(n, dtype=np.int64)
+    queue = np.empty(n, dtype=np.int64)
+    out = 0
+    for v in range(n):
+        if visited[v]:
+            continue
+        if deg[v] == 0:
+            visited[v] = True
+            cm[out] = v
+            out += 1
+            continue
+        if start is not None and not visited[start] and start == v:
+            comp_start = v
+        else:
+            comp_start = _pseudo_peripheral_index(indptr, indices, n, v, deg, str_ranks)
+        # Cuthill–McKee numbering of the component, array queue, no deque.
+        visited[comp_start] = True
+        cm[out] = comp_start
+        out += 1
+        queue[0] = comp_start
+        head, tail = 0, 1
+        while head < tail:
+            u = queue[head]
+            head += 1
+            row = indices[indptr[u] : indptr[u + 1]]
+            fresh = row[~visited[row]]
+            if fresh.size:
+                fresh = fresh[np.lexsort((repr_ranks[fresh], deg[fresh]))]
+                visited[fresh] = True
+                cm[out : out + fresh.size] = fresh
+                out += fresh.size
+                queue[tail : tail + fresh.size] = fresh
+                tail += fresh.size
+    return cm[::-1].copy()
+
+
+#: Index-native counterparts of :data:`ORDERINGS` (CSR in, permutation out).
+ORDERING_INDEX_FNS: dict[str, Callable[[CSRGraph], np.ndarray]] = {
+    "natural": natural_order_indices,
+    "high_degree": high_degree_order_indices,
+    "low_degree": low_degree_order_indices,
+    "rcm": rcm_order_indices,
+}
+
+
+def ordering_indices(name: str, csr: CSRGraph) -> np.ndarray:
+    """Compute the named ordering directly on a CSR view (no label round-trip)."""
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    try:
+        fn = ORDERING_INDEX_FNS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown ordering {name!r}; valid names: {sorted(ORDERING_INDEX_FNS)} "
+            f"and aliases {sorted(_ALIASES)}"
+        ) from None
+    return fn(csr)
+
+
+# ----------------------------------------------------------------------
+# label-level API (thin boundary wrappers over the index kernels)
+# ----------------------------------------------------------------------
+def natural_order(graph: Graph) -> list[Vertex]:
+    """Return vertices in their insertion ("nomenclature") order."""
+    return graph.vertices()
+
+
 def high_degree_order(graph: Graph) -> list[Vertex]:
     """Return vertices sorted by descending degree (ties broken by label)."""
-    return sorted(graph.vertices(), key=lambda v: (-graph.degree(v), _stable_key(v)))
+    csr = CSRGraph.from_graph(graph)
+    return csr.to_labels(high_degree_order_indices(csr))
 
 
 def low_degree_order(graph: Graph) -> list[Vertex]:
     """Return vertices sorted by ascending degree (ties broken by label)."""
+    csr = CSRGraph.from_graph(graph)
+    return csr.to_labels(low_degree_order_indices(csr))
+
+
+def rcm_order(graph: Graph, start: Optional[Vertex] = None) -> list[Vertex]:
+    """Return the Reverse Cuthill–McKee ordering of the graph.
+
+    Each connected component is numbered from a pseudo-peripheral vertex using
+    the classic Cuthill–McKee breadth-first scheme (neighbours visited in
+    ascending degree), and the concatenated numbering is reversed.  Isolated
+    vertices keep their relative natural order at the end of the CM numbering
+    (hence the front of the reversed ordering mirrors the original algorithm's
+    treatment of singletons).  Computed by :func:`rcm_order_indices` on the
+    CSR kernel.
+    """
+    csr = CSRGraph.from_graph(graph)
+    start_idx = None if start is None else csr.label_index.get(start)
+    return csr.to_labels(rcm_order_indices(csr, start=start_idx))
+
+
+def reverse_order(graph: Graph) -> list[Vertex]:
+    """Return the natural order reversed (useful as an extra perturbation)."""
+    return list(reversed(graph.vertices()))
+
+
+def random_order(graph: Graph, seed: int = 0) -> list[Vertex]:
+    """Return a seeded uniformly random permutation of the vertices."""
+    rng = np.random.default_rng(seed)
+    verts = graph.vertices()
+    perm = rng.permutation(len(verts))
+    return [verts[i] for i in perm]
+
+
+# ----------------------------------------------------------------------
+# seed label-level implementations (behavioural references for the kernels)
+# ----------------------------------------------------------------------
+def reference_high_degree_order(graph: Graph) -> list[Vertex]:
+    """The seed label-level high-degree ordering (reference for the kernel)."""
+    return sorted(graph.vertices(), key=lambda v: (-graph.degree(v), _stable_key(v)))
+
+
+def reference_low_degree_order(graph: Graph) -> list[Vertex]:
+    """The seed label-level low-degree ordering (reference for the kernel)."""
     return sorted(graph.vertices(), key=lambda v: (graph.degree(v), _stable_key(v)))
 
 
@@ -82,16 +332,23 @@ def _cuthill_mckee_component(graph: Graph, start: Vertex) -> list[Vertex]:
     return order
 
 
-def rcm_order(graph: Graph, start: Optional[Vertex] = None) -> list[Vertex]:
-    """Return the Reverse Cuthill–McKee ordering of the graph.
+def _component(graph: Graph, v: Vertex) -> list[Vertex]:
+    """Vertices of the connected component containing ``v`` (deterministic)."""
+    visited = {v}
+    order = [v]
+    queue: deque[Vertex] = deque([v])
+    while queue:
+        u = queue.popleft()
+        for w in graph.neighbors(u):
+            if w not in visited:
+                visited.add(w)
+                order.append(w)
+                queue.append(w)
+    return order
 
-    Each connected component is numbered from a pseudo-peripheral vertex using
-    the classic Cuthill–McKee breadth-first scheme (neighbours visited in
-    ascending degree), and the concatenated numbering is reversed.  Isolated
-    vertices keep their relative natural order at the end of the CM numbering
-    (hence the front of the reversed ordering mirrors the original algorithm's
-    treatment of singletons).
-    """
+
+def reference_rcm_order(graph: Graph, start: Optional[Vertex] = None) -> list[Vertex]:
+    """The seed label-level RCM implementation (reference for the kernel)."""
     remaining = set(graph.vertices())
     cm: list[Vertex] = []
     # Process components in natural order of their first vertex for determinism.
@@ -112,36 +369,6 @@ def rcm_order(graph: Graph, start: Optional[Vertex] = None) -> list[Vertex]:
         remaining.difference_update(comp_order)
     cm.reverse()
     return cm
-
-
-def _component(graph: Graph, v: Vertex) -> list[Vertex]:
-    """Vertices of the connected component containing ``v`` (deterministic)."""
-    visited = {v}
-    order = [v]
-    queue: deque[Vertex] = deque([v])
-    while queue:
-        u = queue.popleft()
-        for w in graph.neighbors(u):
-            if w not in visited:
-                visited.add(w)
-                order.append(w)
-                queue.append(w)
-    return order
-
-
-def reverse_order(graph: Graph) -> list[Vertex]:
-    """Return the natural order reversed (useful as an extra perturbation)."""
-    return list(reversed(graph.vertices()))
-
-
-def random_order(graph: Graph, seed: int = 0) -> list[Vertex]:
-    """Return a seeded uniformly random permutation of the vertices."""
-    import numpy as np
-
-    rng = np.random.default_rng(seed)
-    verts = graph.vertices()
-    perm = rng.permutation(len(verts))
-    return [verts[i] for i in perm]
 
 
 #: Registry of the orderings evaluated in the paper, keyed by the short names

@@ -33,7 +33,10 @@ from collections.abc import Hashable, Sequence
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from .graph import Graph
+import numpy as np
+
+from .csr import CSRGraph
+from .graph import Graph, edge_key
 
 __all__ = [
     "Partition",
@@ -44,6 +47,13 @@ __all__ = [
     "PARTITIONERS",
     "get_partitioner",
     "partition_graph",
+    "IndexPartition",
+    "block_partition_indices",
+    "hash_partition_indices",
+    "bfs_partition_indices",
+    "greedy_partition_indices",
+    "INDEX_PARTITIONERS",
+    "index_partition_graph",
 ]
 
 Vertex = Hashable
@@ -182,9 +192,18 @@ def _build_partition(
     )
 
 
-def _check_n_parts(graph: Graph, n_parts: int) -> None:
+def _check_n_parts(graph: object, n_parts: int) -> None:
     if n_parts < 1:
         raise ValueError(f"n_parts must be >= 1, got {n_parts}")
+
+
+def _fnv1a(text: str, salt: int = 0) -> int:
+    """Deterministic FNV-1a hash shared by the label and index hash partitioners."""
+    h = 0xCBF29CE484222325 ^ (salt & 0xFFFFFFFF)
+    for ch in text:
+        h ^= ord(ch)
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
 
 
 def block_partition(
@@ -219,15 +238,7 @@ def hash_partition(graph: Graph, n_parts: int, salt: int = 0) -> Partition:
     are identical across runs and processes.
     """
     _check_n_parts(graph, n_parts)
-
-    def fnv1a(text: str) -> int:
-        h = 0xCBF29CE484222325 ^ (salt & 0xFFFFFFFF)
-        for ch in text:
-            h ^= ord(ch)
-            h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
-        return h
-
-    assignment = {v: fnv1a(repr(v)) % n_parts for v in graph.vertices()}
+    assignment = {v: _fnv1a(repr(v), salt) % n_parts for v in graph.vertices()}
     return _build_partition(graph, assignment, n_parts)
 
 
@@ -347,3 +358,344 @@ def get_partitioner(name: str) -> PartitionerFn:
 def partition_graph(graph: Graph, n_parts: int, method: str = "block", **kwargs) -> Partition:
     """Partition ``graph`` into ``n_parts`` parts using the named method."""
     return get_partitioner(method)(graph, n_parts, **kwargs)
+
+
+# ======================================================================
+# index-native partitioning (CSR in, numpy assignment out)
+# ======================================================================
+class IndexPartition:
+    """An index-native partition of a :class:`~repro.graph.csr.CSRGraph`.
+
+    The label-level :class:`Partition` materialises dicts and per-part edge
+    lists; the parallel samplers only ever need *arrays*: a vertex→part
+    ``assignment`` vector, per-part index arrays, and the border mask over
+    the CSR edge list.  Everything here is vectorised numpy on the frozen
+    CSR view; labels appear only in :meth:`to_partition` (reporting /
+    back-compat boundary).
+
+    Parameters
+    ----------
+    csr:
+        The partitioned CSR view (kept, not copied).
+    assignment:
+        ``int64`` array of length ``n_vertices``; ``assignment[i]`` is the
+        part of vertex ``i``.
+    n_parts:
+        Number of parts (``assignment`` values must lie in ``[0, n_parts)``).
+    order:
+        Optional traversal order (an index permutation); per-part index
+        arrays list vertices in this sequence, mirroring how the label
+        partitioners preserve traversal order inside each part.
+    """
+
+    __slots__ = ("csr", "assignment", "n_parts", "order", "_parts", "_edge_parts", "_border_mask")
+
+    def __init__(
+        self,
+        csr: CSRGraph,
+        assignment: np.ndarray,
+        n_parts: int,
+        order: Optional[np.ndarray] = None,
+    ) -> None:
+        assignment = np.ascontiguousarray(assignment, dtype=np.int64)
+        if assignment.shape != (csr.n_vertices,):
+            raise ValueError("assignment must have one entry per CSR vertex")
+        if n_parts < 1:
+            raise ValueError(f"n_parts must be >= 1, got {n_parts}")
+        if assignment.size and (assignment.min() < 0 or assignment.max() >= n_parts):
+            raise ValueError("assignment contains out-of-range part ids")
+        self.csr = csr
+        self.assignment = assignment
+        self.n_parts = n_parts
+        self.order = None if order is None else np.ascontiguousarray(order, dtype=np.int64)
+        self._parts: Optional[list[np.ndarray]] = None
+        self._edge_parts: Optional[tuple[np.ndarray, np.ndarray]] = None
+        self._border_mask: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # vertex side
+    # ------------------------------------------------------------------
+    @property
+    def parts(self) -> list[np.ndarray]:
+        """Per-part vertex index arrays, preserving traversal order (lazy)."""
+        parts = self._parts
+        if parts is None:
+            seq = self.order if self.order is not None else np.arange(
+                self.csr.n_vertices, dtype=np.int64
+            )
+            by_part = self.assignment[seq]
+            parts = [seq[by_part == p] for p in range(self.n_parts)]
+            self._parts = parts
+        return parts
+
+    def part_indices(self, part: int) -> np.ndarray:
+        """Vertex indices of part ``part`` in traversal order."""
+        return self.parts[part]
+
+    def part_csr(self, part: int) -> CSRGraph:
+        """CSR subgraph induced by part ``part`` (pure array slicing)."""
+        return self.csr.induced_subgraph(self.part_indices(part))
+
+    # ------------------------------------------------------------------
+    # edge side
+    # ------------------------------------------------------------------
+    def _edges(self) -> tuple[np.ndarray, np.ndarray]:
+        eu, ev = self.csr.edge_array()
+        return eu, ev
+
+    @property
+    def border_mask(self) -> np.ndarray:
+        """Boolean mask over :meth:`CSRGraph.edge_array`: ``True`` = border edge.
+
+        One vectorised comparison of the endpoint assignments — the
+        index-native replacement for the per-edge dict lookups of
+        ``_classify_edges``.
+        """
+        mask = self._border_mask
+        if mask is None:
+            eu, ev = self._edges()
+            mask = self.assignment[eu] != self.assignment[ev]
+            self._border_mask = mask
+        return mask
+
+    def border_edges(self) -> tuple[np.ndarray, np.ndarray]:
+        """Border edges as aligned index arrays ``(us, vs)`` with ``us < vs``."""
+        eu, ev = self._edges()
+        mask = self.border_mask
+        return eu[mask], ev[mask]
+
+    def internal_edges_of(self, part: int) -> tuple[np.ndarray, np.ndarray]:
+        """Edges with both endpoints in ``part``, as aligned index arrays."""
+        eu, ev = self._edges()
+        mask = (self.assignment[eu] == part) & (self.assignment[ev] == part)
+        return eu[mask], ev[mask]
+
+    def border_edges_of(self, part: int) -> tuple[np.ndarray, np.ndarray]:
+        """Border edges with at least one endpoint in ``part`` (aligned arrays)."""
+        eu, ev = self._edges()
+        mask = self.border_mask & (
+            (self.assignment[eu] == part) | (self.assignment[ev] == part)
+        )
+        return eu[mask], ev[mask]
+
+    @property
+    def n_border_edges(self) -> int:
+        return int(self.border_mask.sum())
+
+    def edge_cut(self) -> int:
+        """Return the number of border (cut) edges."""
+        return self.n_border_edges
+
+    def balance(self) -> float:
+        """Return max part size divided by the ideal part size (1.0 = perfect)."""
+        n = self.csr.n_vertices
+        if n == 0:
+            return 1.0
+        ideal = n / self.n_parts
+        counts = np.bincount(self.assignment, minlength=self.n_parts)
+        return float(counts.max()) / ideal
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if the partition is inconsistent with its CSR."""
+        counts = np.bincount(self.assignment, minlength=self.n_parts)
+        if int(counts.sum()) != self.csr.n_vertices:
+            raise ValueError("assignment does not cover the vertex set exactly")
+        sizes = sum(p.shape[0] for p in self.parts)
+        if sizes != self.csr.n_vertices:
+            raise ValueError("per-part index arrays do not cover the vertex set exactly")
+        n_internal = sum(
+            self.internal_edges_of(p)[0].shape[0] for p in range(self.n_parts)
+        )
+        if n_internal + self.n_border_edges != self.csr.n_edges:
+            raise ValueError("internal + border edge counts do not add up to |E|")
+
+    # ------------------------------------------------------------------
+    # label boundary
+    # ------------------------------------------------------------------
+    def to_partition(self, graph: Optional[Graph] = None) -> Partition:
+        """Materialise the label-level :class:`Partition` view (boundary only).
+
+        ``graph`` defaults to ``csr.to_graph()``; pass the original
+        :class:`Graph` to keep edge attributes reachable from the result.
+        """
+        labels = self.csr.labels
+        if graph is None:
+            graph = self.csr.to_graph()
+        assignment = {labels[i]: int(p) for i, p in enumerate(self.assignment)}
+        parts = [[labels[int(i)] for i in idx] for idx in self.parts]
+        internal = [
+            [edge_key(labels[int(u)], labels[int(v)]) for u, v in zip(*self.internal_edges_of(p))]
+            for p in range(self.n_parts)
+        ]
+        bu, bv = self.border_edges()
+        border = [edge_key(labels[int(u)], labels[int(v)]) for u, v in zip(bu, bv)]
+        return Partition(
+            assignment=assignment,
+            parts=parts,
+            internal_edges=internal,
+            border_edges=border,
+            graph=graph,
+        )
+
+    @classmethod
+    def from_partition(cls, partition: Partition, csr: CSRGraph) -> "IndexPartition":
+        """Index view of a label-level :class:`Partition` over the same graph.
+
+        Per-part traversal order is taken from ``partition.parts`` so the
+        index pipeline processes vertices in the identical sequence.
+        """
+        index = csr.label_index
+        assignment = np.full(csr.n_vertices, -1, dtype=np.int64)
+        for v, p in partition.assignment.items():
+            assignment[index[v]] = p
+        if (assignment < 0).any():
+            raise ValueError("partition does not cover every CSR vertex")
+        ipart = cls(csr, assignment, partition.n_parts)
+        ipart._parts = [
+            np.asarray([index[v] for v in part], dtype=np.int64) for part in partition.parts
+        ]
+        return ipart
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"IndexPartition(n_vertices={self.csr.n_vertices}, "
+            f"n_parts={self.n_parts}, border={self.n_border_edges})"
+        )
+
+
+def block_partition_indices(
+    csr: CSRGraph, n_parts: int, order: Optional[np.ndarray] = None
+) -> IndexPartition:
+    """Index-native :func:`block_partition`: contiguous balanced blocks of ``order``."""
+    _check_n_parts(csr, n_parts)
+    n = csr.n_vertices
+    if order is None:
+        order = np.arange(n, dtype=np.int64)
+    else:
+        order = np.ascontiguousarray(order, dtype=np.int64)
+        if order.shape[0] != n or np.unique(order).shape[0] != n:
+            raise ValueError("order must be a permutation of the CSR vertex indices")
+    base, extra = divmod(n, n_parts)
+    sizes = np.full(n_parts, base, dtype=np.int64)
+    sizes[:extra] += 1
+    assignment = np.empty(n, dtype=np.int64)
+    assignment[order] = np.repeat(np.arange(n_parts, dtype=np.int64), sizes)
+    return IndexPartition(csr, assignment, n_parts, order=order)
+
+
+def hash_partition_indices(csr: CSRGraph, n_parts: int, salt: int = 0) -> IndexPartition:
+    """Index-native :func:`hash_partition` (same FNV-1a over label ``repr``)."""
+    _check_n_parts(csr, n_parts)
+    assignment = np.fromiter(
+        (_fnv1a(repr(v), salt) % n_parts for v in csr.labels),
+        dtype=np.int64,
+        count=csr.n_vertices,
+    )
+    return IndexPartition(csr, assignment, n_parts)
+
+
+def bfs_partition_indices(
+    csr: CSRGraph, n_parts: int, source: Optional[int] = None
+) -> IndexPartition:
+    """Index-native :func:`bfs_partition`: BFS layers accumulated to target size.
+
+    ``source`` is a vertex *index*.  The traversal, restart-at-next-natural
+    vertex rule and part-advance rule replicate the label implementation
+    exactly, so both produce the identical assignment.
+    """
+    _check_n_parts(csr, n_parts)
+    n = csr.n_vertices
+    assignment = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return IndexPartition(csr, assignment, n_parts)
+    indptr, indices = csr.indptr, csr.indices
+    target = max(1, -(-n // n_parts))  # ceil division
+    visited = np.zeros(n, dtype=bool)
+    current_part = 0
+    count_in_part = 0
+    n_visited = 0
+    start = source if source is not None and 0 <= source < n else 0
+    pending: deque[int] = deque([start])
+    scan = 0  # persistent natural-order restart pointer
+    while n_visited < n:
+        if not pending:
+            while scan < n and visited[scan]:
+                scan += 1
+            if scan == n:
+                break
+            pending.append(scan)
+        u = pending.popleft()
+        if visited[u]:
+            continue
+        visited[u] = True
+        n_visited += 1
+        if count_in_part >= target and current_part < n_parts - 1:
+            current_part += 1
+            count_in_part = 0
+        assignment[u] = current_part
+        count_in_part += 1
+        row = indices[indptr[u] : indptr[u + 1]]
+        pending.extend(row[~visited[row]].tolist())
+    return IndexPartition(csr, assignment, n_parts)
+
+
+def greedy_partition_indices(
+    csr: CSRGraph,
+    n_parts: int,
+    order: Optional[np.ndarray] = None,
+    imbalance: float = 1.1,
+) -> IndexPartition:
+    """Index-native :func:`greedy_edge_cut_partition` (LDG-style streaming)."""
+    _check_n_parts(csr, n_parts)
+    if imbalance < 1.0:
+        raise ValueError("imbalance factor must be >= 1.0")
+    n = csr.n_vertices
+    if order is None:
+        order = np.arange(n, dtype=np.int64)
+    else:
+        order = np.ascontiguousarray(order, dtype=np.int64)
+        if order.shape[0] != n or np.unique(order).shape[0] != n:
+            raise ValueError("order must be a permutation of the CSR vertex indices")
+    indptr, indices = csr.indptr, csr.indices
+    cap = max(1, int(imbalance * -(-n // n_parts))) if n else 1
+    sizes = np.zeros(n_parts, dtype=np.int64)
+    assignment = np.full(n, -1, dtype=np.int64)
+    all_parts = np.arange(n_parts, dtype=np.int64)
+    for v in order:
+        row = indices[indptr[v] : indptr[v + 1]]
+        placed = assignment[row]
+        votes = np.bincount(placed[placed >= 0], minlength=n_parts)
+        under = np.flatnonzero(sizes < cap)
+        cand = under if under.size else all_parts
+        # min by (-votes, size, part index): lexsort's last key is primary
+        best = int(cand[np.lexsort((cand, sizes[cand], -votes[cand]))[0]])
+        assignment[v] = best
+        sizes[best] += 1
+    # No order= here: the label reference builds its parts in natural order
+    # even when streaming in a custom order, and the index view must mirror it.
+    return IndexPartition(csr, assignment, n_parts)
+
+
+IndexPartitionerFn = Callable[..., IndexPartition]
+
+#: Index-native counterparts of :data:`PARTITIONERS`, keyed by the same names.
+INDEX_PARTITIONERS: dict[str, IndexPartitionerFn] = {
+    "block": block_partition_indices,
+    "hash": hash_partition_indices,
+    "bfs": bfs_partition_indices,
+    "greedy": greedy_partition_indices,
+}
+
+
+def index_partition_graph(
+    csr: CSRGraph, n_parts: int, method: str = "block", **kwargs
+) -> IndexPartition:
+    """Partition a CSR view into ``n_parts`` parts using the named method."""
+    key = method.strip().lower()
+    try:
+        fn = INDEX_PARTITIONERS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown partitioner {method!r}; valid names: {sorted(INDEX_PARTITIONERS)}"
+        ) from None
+    return fn(csr, n_parts, **kwargs)

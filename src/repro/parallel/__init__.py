@@ -9,7 +9,14 @@ wall-clock times for the scalability study.
 
 from .comm import ANY_SOURCE, ANY_TAG, CommStats, SimComm, SimCommWorld
 from .rng import derive_seed, rank_rng, rank_rngs
-from .runner import RankResult, SpmdReport, available_backends, parallel_map, run_spmd
+from .runner import (
+    RankResult,
+    SpmdReport,
+    available_backends,
+    parallel_map,
+    run_spmd,
+    shutdown_worker_pool,
+)
 from .timing import CostModel, RankWork, efficiency, simulate_execution_time, speedup
 
 __all__ = [
@@ -21,6 +28,7 @@ __all__ = [
     "run_spmd",
     "parallel_map",
     "available_backends",
+    "shutdown_worker_pool",
     "RankResult",
     "SpmdReport",
     "CostModel",

@@ -16,11 +16,16 @@ collects the per-rank return values.  Two backends are available:
 ``parallel_map`` additionally offers a ``process`` backend built on
 ``multiprocessing`` for embarrassingly parallel work items (no communicator),
 which is how the communication-free algorithms can exploit real cores when
-they are available.
+they are available.  The ``process`` backend keeps one shared ``spawn`` pool
+alive across calls (spawning a pool per call used to dominate small runs);
+the pool is resized lazily, torn down by :func:`shutdown_worker_pool` (the
+batch engine calls it at the end of every batch / worker group) and cleaned
+up at interpreter exit.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import threading
 from dataclasses import dataclass
@@ -28,7 +33,14 @@ from typing import Any, Callable, Optional, Sequence
 
 from .comm import CommStats, SimComm, SimCommWorld
 
-__all__ = ["RankResult", "SpmdReport", "run_spmd", "parallel_map", "available_backends"]
+__all__ = [
+    "RankResult",
+    "SpmdReport",
+    "run_spmd",
+    "parallel_map",
+    "available_backends",
+    "shutdown_worker_pool",
+]
 
 RankFn = Callable[..., Any]
 
@@ -146,6 +158,48 @@ def _call_star(payload: tuple[Callable[..., Any], tuple[Any, ...]]) -> Any:
     return fn(*item_args)
 
 
+# One shared worker pool for every ``parallel_map(backend="process")`` call.
+# Spawning a fresh ``spawn`` pool per call costs hundreds of milliseconds of
+# interpreter start-up per worker — more than most rank tasks themselves —
+# so the pool is created lazily, grown when a caller asks for more workers,
+# and reused until :func:`shutdown_worker_pool` (or interpreter exit).
+_worker_pool: Optional[multiprocessing.pool.Pool] = None
+_worker_pool_size = 0
+_worker_pool_lock = threading.Lock()
+
+
+def _get_worker_pool(n_workers: int) -> multiprocessing.pool.Pool:
+    global _worker_pool, _worker_pool_size
+    with _worker_pool_lock:
+        if _worker_pool is not None and _worker_pool_size < n_workers:
+            _worker_pool.terminate()
+            _worker_pool.join()
+            _worker_pool = None
+        if _worker_pool is None:
+            _worker_pool = multiprocessing.get_context("spawn").Pool(n_workers)
+            _worker_pool_size = n_workers
+        return _worker_pool
+
+
+def shutdown_worker_pool() -> None:
+    """Tear down the shared ``process``-backend pool (no-op when none exists).
+
+    Callers that fan out many ``parallel_map`` runs (the batch engine) invoke
+    this once at the end of the batch; it is also registered with
+    :mod:`atexit` so an interactive session never leaks worker processes.
+    """
+    global _worker_pool, _worker_pool_size
+    with _worker_pool_lock:
+        if _worker_pool is not None:
+            _worker_pool.terminate()
+            _worker_pool.join()
+            _worker_pool = None
+            _worker_pool_size = 0
+
+
+atexit.register(shutdown_worker_pool)
+
+
 def parallel_map(
     fn: Callable[..., Any],
     items: Sequence[Sequence[Any]],
@@ -155,15 +209,15 @@ def parallel_map(
     """Apply ``fn(*item)`` to every item, optionally with a multiprocessing pool.
 
     ``backend='serial'`` runs in-process (deterministic, zero overhead);
-    ``backend='process'`` uses a :mod:`multiprocessing` pool with ``processes``
-    workers — ``fn`` and the items must then be picklable.  The result order
-    always matches the input order.
+    ``backend='process'`` uses the shared :mod:`multiprocessing` pool with
+    ``processes`` workers — ``fn`` and the items must then be picklable.  The
+    pool persists across calls (see :func:`shutdown_worker_pool`).  The
+    result order always matches the input order.
     """
     payloads = [(fn, tuple(item)) for item in items]
     if backend == "serial":
         return [_call_star(p) for p in payloads]
     if backend == "process":
         n_workers = processes or min(len(items), multiprocessing.cpu_count()) or 1
-        with multiprocessing.get_context("spawn").Pool(n_workers) as pool:
-            return pool.map(_call_star, payloads)
+        return _get_worker_pool(n_workers).map(_call_star, payloads)
     raise ValueError(f"unknown backend {backend!r}; expected 'serial' or 'process'")

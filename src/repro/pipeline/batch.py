@@ -36,6 +36,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Optional, Sequence
 
 from ..parallel.rng import derive_seed
+from ..parallel.runner import shutdown_worker_pool
 from . import experiments as exp
 
 __all__ = [
@@ -284,6 +285,17 @@ def _run_group(specs: list["RunSpec"]) -> list[dict[str, Any]]:
     caller supplied them — the JSON coercion applies only to results and to
     the content hash.
     """
+    try:
+        return _run_group_keep_pool(specs)
+    finally:
+        # Drivers that ran filters with backend="process" share one worker
+        # pool across the whole group (see repro.parallel.runner); release it
+        # when the group is done so batch workers never leak grandchildren.
+        shutdown_worker_pool()
+
+
+def _run_group_keep_pool(specs: list["RunSpec"]) -> list[dict[str, Any]]:
+    """Run one group of specs, leaving the shared filter worker pool alive."""
     out: list[dict[str, Any]] = []
     for spec in specs:
         try:
@@ -417,8 +429,14 @@ def run_batch(
             )
 
     if jobs == 1:
-        for group in group_list:
-            _absorb(group, _run_group([spec for _, spec in group]))
+        # _run_group shuts the shared filter worker pool down per group; the
+        # in-process path keeps it alive across groups (one pool per batch)
+        # and releases it once at the end instead.
+        try:
+            for group in group_list:
+                _absorb(group, _run_group_keep_pool([spec for _, spec in group]))
+        finally:
+            shutdown_worker_pool()
     elif group_list:
         with ProcessPoolExecutor(max_workers=min(jobs, len(group_list))) as pool:
             futures = [

@@ -124,3 +124,42 @@ class TestSequentialRandomWalk:
         from repro.graph import count_triangles
 
         assert count_triangles(chordal.graph) >= count_triangles(walk.graph)
+
+
+class TestBatchedRandomWalkStream:
+    """Regression pins for the batched RNG stream of the sequential walk.
+
+    The CSR port draws uniform deviates in batches (one ``rng.random`` call
+    per ``RANDOM_WALK_RNG_BATCH`` steps) instead of one ``rng.integers`` call
+    per step, so for the same seed the walk differs from the seed
+    implementation.  The change is declared in ``extra["rng_stream"]`` and the
+    exact outputs below pin the *new* stream: any further change to how the
+    walk consumes randomness must update these values consciously.
+    """
+
+    def test_stream_is_documented_in_extra(self, network):
+        result = sequential_random_walk_filter(network, seed=0)
+        assert result.extra["rng_stream"] == "batched-uniform-v2"
+        assert result.extra["rng_batch"] == 4096
+
+    def test_pinned_edges_small_graph(self):
+        from repro.graph import path_graph
+
+        g = path_graph(8)
+        g.add_edge("v0", "v7")
+        g.add_edge("v2", "v5")
+        result = sequential_random_walk_filter(g, seed=11)
+        assert sorted(result.graph.iter_edges()) == [
+            ("v0", "v1"),
+            ("v0", "v7"),
+            ("v5", "v6"),
+            ("v6", "v7"),
+        ]
+        assert result.extra["selections"] == 4
+
+    def test_pinned_edge_count_network(self, network):
+        # network: correlation_like_graph(n_modules=4, module_size=8,
+        # n_background=60, seed=9) -> 182 edges; walk seed 7 keeps exactly 55.
+        result = sequential_random_walk_filter(network, seed=7)
+        assert network.n_edges == 182
+        assert result.graph.n_edges == 55
