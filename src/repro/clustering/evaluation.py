@@ -134,17 +134,21 @@ def classify_match(
     scorer: EnrichmentScorer,
     thresholds: EvaluationThresholds = EvaluationThresholds(),
     overlap_attr: str = "node_overlap",
+    aees: Optional[float] = None,
 ) -> ScoredMatch:
     """Classify one cluster match into its quadrant.
 
     ``overlap_attr`` selects which overlap measure drives the classification
     (``"node_overlap"`` or ``"edge_overlap"``) — the paper compares both.
     The AEES is computed on the *filtered* cluster, which is the object whose
-    biological relevance is being judged.
+    biological relevance is being judged; a precomputed value can be passed
+    as ``aees`` so classifying the same matches under both overlap criteria
+    scores every cluster exactly once.
     """
     if overlap_attr not in ("node_overlap", "edge_overlap"):
         raise ValueError("overlap_attr must be 'node_overlap' or 'edge_overlap'")
-    aees = scorer.cluster(match.filtered.subgraph).aees
+    if aees is None:
+        aees = scorer.cluster(match.filtered.subgraph).aees
     overlap = getattr(match, overlap_attr)
     high_aees = aees >= thresholds.aees_threshold
     high_overlap = overlap > thresholds.overlap_threshold
@@ -164,9 +168,23 @@ def classify_matches(
     scorer: EnrichmentScorer,
     thresholds: EvaluationThresholds = EvaluationThresholds(),
     overlap_attr: str = "node_overlap",
+    aees: Optional[Sequence[float]] = None,
 ) -> list[ScoredMatch]:
-    """Classify every match; see :func:`classify_match`."""
-    return [classify_match(m, scorer, thresholds, overlap_attr) for m in matches]
+    """Classify every match; see :func:`classify_match`.
+
+    ``aees`` optionally supplies the per-match enrichment scores (aligned
+    with ``matches``) so a second classification pass — the paper evaluates
+    node- and edge-overlap criteria over the same matches — reuses the first
+    pass's scores instead of re-walking every cluster's edges.
+    """
+    if aees is None:
+        aees = [scorer.cluster(m.filtered.subgraph).aees for m in matches]
+    elif len(aees) != len(matches):
+        raise ValueError("aees must align one-to-one with matches")
+    return [
+        classify_match(m, scorer, thresholds, overlap_attr, aees=a)
+        for m, a in zip(matches, aees)
+    ]
 
 
 def quadrant_counts(scored: Sequence[ScoredMatch]) -> QuadrantCounts:

@@ -13,6 +13,15 @@ are *found* (newly uncovered structure); original clusters that share nothing
 with any filtered cluster are *lost*.  Those categories, together with the
 overlap values and the enrichment score, drive the TP/FP/FN/TN quadrant
 analysis in :mod:`repro.clustering.evaluation`.
+
+The all-pairs matching used to walk every (original, filtered) pair through
+Python set intersections; :func:`match_clusters` and :func:`lost_clusters`
+now take an index-native fast path for the two standard measures: cluster
+member (or edge) sets are mapped onto a shared integer universe, stacked into
+0/1 membership matrices, and all pairwise intersection counts fall out of one
+matrix product.  The generic-``key`` behaviour is retained as
+``reference_match_clusters`` / ``reference_lost_clusters`` and the fast path
+is pinned to it by the test suite.
 """
 
 from __future__ import annotations
@@ -20,6 +29,8 @@ from __future__ import annotations
 from collections.abc import Hashable, Sequence
 from dataclasses import dataclass
 from typing import Callable, Optional
+
+import numpy as np
 
 from .cluster import Cluster
 
@@ -29,8 +40,11 @@ __all__ = [
     "jaccard_node_overlap",
     "ClusterMatch",
     "match_clusters",
+    "match_and_lost_clusters",
     "lost_clusters",
     "found_clusters",
+    "reference_match_clusters",
+    "reference_lost_clusters",
 ]
 
 Vertex = Hashable
@@ -76,6 +90,117 @@ class ClusterMatch:
         return self.original is None or (self.node_overlap == 0.0 and self.edge_overlap == 0.0)
 
 
+# ----------------------------------------------------------------------
+# index-native pairwise intersection counts
+# ----------------------------------------------------------------------
+def _count_matrix(
+    original_sets: Sequence[set], filtered_sets: Sequence[set]
+) -> np.ndarray:
+    """All pairwise intersection sizes as one ``(|orig|, |filt|)`` array.
+
+    Every element (node label or canonical edge tuple) is assigned a dense
+    integer id; each cluster becomes one 0/1 row of a membership matrix and
+    the counts are a single (BLAS) matrix product.  Counts are small exact
+    integers in float64, so downstream divisions reproduce the set-based
+    fractions bit-for-bit.
+    """
+    index: dict = {}
+    for s in original_sets:
+        for x in s:
+            if x not in index:
+                index[x] = len(index)
+    for s in filtered_sets:
+        for x in s:
+            if x not in index:
+                index[x] = len(index)
+    u = max(len(index), 1)
+    a = np.zeros((len(original_sets), u), dtype=np.float64)
+    for r, s in enumerate(original_sets):
+        if s:
+            a[r, [index[x] for x in s]] = 1.0
+    b = np.zeros((len(filtered_sets), u), dtype=np.float64)
+    for r, s in enumerate(filtered_sets):
+        if s:
+            b[r, [index[x] for x in s]] = 1.0
+    return a @ b.T
+
+
+def _overlap_values(
+    counts: np.ndarray, original_sizes: np.ndarray
+) -> np.ndarray:
+    """Per-pair overlap fractions: ``counts / |original|`` (0 for empty originals)."""
+    safe = np.where(original_sizes == 0, 1.0, original_sizes)
+    vals = counts / safe[:, None]
+    vals[original_sizes == 0, :] = 0.0
+    return vals
+
+
+def _overlap_values_for(
+    original_clusters: Sequence[Cluster],
+    filtered_clusters: Sequence[Cluster],
+    by_edges: bool,
+) -> np.ndarray:
+    """One overlap-fraction matrix (node- or edge-based) for every pair."""
+    if by_edges:
+        orig = [c.edge_set() for c in original_clusters]
+        filt = [c.edge_set() for c in filtered_clusters]
+    else:
+        orig = [c.node_set() for c in original_clusters]
+        filt = [c.node_set() for c in filtered_clusters]
+    return _overlap_values(
+        _count_matrix(orig, filt),
+        np.array([len(s) for s in orig], dtype=np.float64),
+    )
+
+
+def _overlap_matrices(
+    original_clusters: Sequence[Cluster], filtered_clusters: Sequence[Cluster]
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(node_overlaps, edge_overlaps)`` matrices for every cluster pair."""
+    return (
+        _overlap_values_for(original_clusters, filtered_clusters, by_edges=False),
+        _overlap_values_for(original_clusters, filtered_clusters, by_edges=True),
+    )
+
+
+def _is_fast_key(key: Callable[[Cluster, Cluster], float]) -> bool:
+    """Whether ``key`` is one of the two measures the matrix fast path serves.
+
+    The single dispatch predicate for :func:`match_clusters`,
+    :func:`match_and_lost_clusters` and :func:`lost_clusters` — extend it in
+    one place if another measure gains a matrix form.
+    """
+    return key is node_overlap or key is edge_overlap
+
+
+def _matches_from_values(
+    original_clusters: Sequence[Cluster],
+    filtered_clusters: Sequence[Cluster],
+    node_vals: np.ndarray,
+    edge_vals: np.ndarray,
+    key_vals: np.ndarray,
+) -> list[ClusterMatch]:
+    """Best-match selection off precomputed overlap matrices."""
+    matches: list[ClusterMatch] = []
+    for j, fc in enumerate(filtered_clusters):
+        col = key_vals[:, j]
+        best = int(np.argmax(col))  # first index attaining the maximum
+        if col[best] <= 0.0:
+            matches.append(
+                ClusterMatch(filtered=fc, original=None, node_overlap=0.0, edge_overlap=0.0)
+            )
+        else:
+            matches.append(
+                ClusterMatch(
+                    filtered=fc,
+                    original=original_clusters[best],
+                    node_overlap=float(node_vals[best, j]),
+                    edge_overlap=float(edge_vals[best, j]),
+                )
+            )
+    return matches
+
+
 def match_clusters(
     original_clusters: Sequence[Cluster],
     filtered_clusters: Sequence[Cluster],
@@ -87,7 +212,88 @@ def match_clusters(
     both node and edge overlap of the chosen pairing are reported.  Filtered
     clusters with zero overlap against every original cluster are matched to
     ``None`` — the paper's *found* clusters.
+
+    For the two standard measures (:func:`node_overlap` / :func:`edge_overlap`)
+    the matching runs on membership matrices (see :func:`_count_matrix`);
+    any other ``key`` falls back to :func:`reference_match_clusters`.
     """
+    if not _is_fast_key(key):
+        return reference_match_clusters(original_clusters, filtered_clusters, key)
+    if not original_clusters:
+        return [
+            ClusterMatch(filtered=fc, original=None, node_overlap=0.0, edge_overlap=0.0)
+            for fc in filtered_clusters
+        ]
+    node_vals, edge_vals = _overlap_matrices(original_clusters, filtered_clusters)
+    key_vals = node_vals if key is node_overlap else edge_vals
+    return _matches_from_values(
+        original_clusters, filtered_clusters, node_vals, edge_vals, key_vals
+    )
+
+
+def match_and_lost_clusters(
+    original_clusters: Sequence[Cluster],
+    filtered_clusters: Sequence[Cluster],
+    key: Callable[[Cluster, Cluster], float] = node_overlap,
+) -> tuple[list[ClusterMatch], list[Cluster]]:
+    """:func:`match_clusters` and :func:`lost_clusters` in one pass.
+
+    The workflow needs both over the same cluster lists; for the standard
+    measures this computes the overlap matrices once and reads the matches
+    and the zero-overlap (lost) originals off them.
+    """
+    if not _is_fast_key(key):
+        return (
+            reference_match_clusters(original_clusters, filtered_clusters, key),
+            reference_lost_clusters(original_clusters, filtered_clusters, key),
+        )
+    if not original_clusters:
+        return match_clusters(original_clusters, filtered_clusters, key), []
+    if not filtered_clusters:
+        return [], list(original_clusters)
+    node_vals, edge_vals = _overlap_matrices(original_clusters, filtered_clusters)
+    key_vals = node_vals if key is node_overlap else edge_vals
+    matches = _matches_from_values(
+        original_clusters, filtered_clusters, node_vals, edge_vals, key_vals
+    )
+    zero_rows = (key_vals == 0.0).all(axis=1)
+    lost = [oc for r, oc in enumerate(original_clusters) if zero_rows[r]]
+    return matches, lost
+
+
+def found_clusters(matches: Sequence[ClusterMatch]) -> list[Cluster]:
+    """Filtered clusters with no original counterpart (structure uncovered by filtering)."""
+    return [m.filtered for m in matches if m.is_found]
+
+
+def lost_clusters(
+    original_clusters: Sequence[Cluster],
+    filtered_clusters: Sequence[Cluster],
+    key: Callable[[Cluster, Cluster], float] = node_overlap,
+) -> list[Cluster]:
+    """Original clusters that share nothing with any filtered cluster (lost to filtering)."""
+    if not _is_fast_key(key):
+        return reference_lost_clusters(original_clusters, filtered_clusters, key)
+    if not original_clusters:
+        return []
+    if not filtered_clusters:
+        return list(original_clusters)
+    key_vals = _overlap_values_for(
+        original_clusters, filtered_clusters, by_edges=key is edge_overlap
+    )
+    zero_rows = (key_vals == 0.0).all(axis=1)
+    return [oc for r, oc in enumerate(original_clusters) if zero_rows[r]]
+
+
+# ----------------------------------------------------------------------
+# retained label-level references (generic-key behaviour)
+# ----------------------------------------------------------------------
+def reference_match_clusters(
+    original_clusters: Sequence[Cluster],
+    filtered_clusters: Sequence[Cluster],
+    key: Callable[[Cluster, Cluster], float] = node_overlap,
+) -> list[ClusterMatch]:
+    """Seed all-pairs matching loop (the behavioural reference for the fast path)."""
     matches: list[ClusterMatch] = []
     for fc in filtered_clusters:
         best: Optional[Cluster] = None
@@ -111,17 +317,12 @@ def match_clusters(
     return matches
 
 
-def found_clusters(matches: Sequence[ClusterMatch]) -> list[Cluster]:
-    """Filtered clusters with no original counterpart (structure uncovered by filtering)."""
-    return [m.filtered for m in matches if m.is_found]
-
-
-def lost_clusters(
+def reference_lost_clusters(
     original_clusters: Sequence[Cluster],
     filtered_clusters: Sequence[Cluster],
     key: Callable[[Cluster, Cluster], float] = node_overlap,
 ) -> list[Cluster]:
-    """Original clusters that share nothing with any filtered cluster (lost to filtering)."""
+    """Seed lost-cluster scan (the behavioural reference for the fast path)."""
     lost: list[Cluster] = []
     for oc in original_clusters:
         if all(key(oc, fc) == 0.0 for fc in filtered_clusters):

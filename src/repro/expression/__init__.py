@@ -8,10 +8,14 @@ correlation with significance and magnitude thresholds.
 
 from .correlation import (
     CorrelationThreshold,
+    build_correlation_csr,
     build_correlation_network,
+    correlated_pair_arrays,
     correlated_pairs,
     correlation_p_value,
     critical_correlation,
+    csr_from_pair_arrays,
+    network_from_pair_arrays,
     pearson_correlation_matrix,
 )
 from .datasets import (
@@ -38,7 +42,11 @@ __all__ = [
     "correlation_p_value",
     "critical_correlation",
     "correlated_pairs",
+    "correlated_pair_arrays",
     "build_correlation_network",
+    "build_correlation_csr",
+    "csr_from_pair_arrays",
+    "network_from_pair_arrays",
     "StudyConfig",
     "SyntheticStudy",
     "generate_study",

@@ -23,6 +23,7 @@ from typing import Optional
 import numpy as np
 from scipy import stats
 
+from ..graph.csr import CSRGraph
 from ..graph.graph import Graph
 from .microarray import ExpressionMatrix
 
@@ -32,7 +33,11 @@ __all__ = [
     "critical_correlation",
     "CorrelationThreshold",
     "build_correlation_network",
+    "build_correlation_csr",
     "correlated_pairs",
+    "correlated_pair_arrays",
+    "network_from_pair_arrays",
+    "csr_from_pair_arrays",
 ]
 
 
@@ -97,10 +102,13 @@ class CorrelationThreshold:
     include_negative: bool = False
 
     def admits(self, rho: float, n_samples: int) -> bool:
-        """Return ``True`` when a correlation passes both criteria."""
-        value = rho if self.include_negative else max(rho, 0.0)
-        if self.include_negative:
-            value = abs(rho)
+        """Return ``True`` when a correlation passes both criteria.
+
+        With ``include_negative`` the magnitude |ρ| is tested; otherwise the
+        signed value is clamped at zero, so negative correlations can only
+        pass a (degenerate) ``min_abs_rho`` of 0.0.
+        """
+        value = abs(rho) if self.include_negative else max(rho, 0.0)
         if value < self.min_abs_rho:
             return False
         return correlation_p_value(rho, n_samples) <= self.max_p_value
@@ -110,27 +118,34 @@ class CorrelationThreshold:
         return max(self.min_abs_rho, critical_correlation(self.max_p_value, n_samples))
 
 
-def correlated_pairs(
+def correlated_pair_arrays(
     matrix: ExpressionMatrix,
     threshold: Optional[CorrelationThreshold] = None,
     block_size: int = 2048,
-) -> list[tuple[str, str, float]]:
-    """Return every gene pair passing the threshold as ``(gene_a, gene_b, rho)``.
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return every admitted gene pair as three aligned arrays ``(ii, jj, rho)``.
 
-    The correlation matrix is computed in ``block_size`` × ``block_size`` tiles
-    of the upper triangle so the memory footprint stays bounded for large gene
-    sets (the paper's CRE network has ~28k genes).
+    ``ii``/``jj`` are ``int64`` row indices into ``matrix.genes`` with
+    ``ii[k] < jj[k]``; ``rho`` the clipped correlations.  The correlation
+    matrix is computed in ``block_size`` × ``block_size`` tiles of the upper
+    triangle so the memory footprint stays bounded for large gene sets (the
+    paper's CRE network has ~28k genes), and the surviving entries of each
+    tile are extracted with one ``nonzero`` + fancy index — no per-pair
+    Python loop.  Pair order is *tile order*: tiles row-major, entries
+    row-major within a tile (the historical ``correlated_pairs`` order).
     """
     threshold = threshold or CorrelationThreshold()
     std = matrix.standardized()
     n_samples = std.n_samples
+    empty = np.empty(0, dtype=np.int64)
     if n_samples < 2 or matrix.n_genes < 2:
-        return []
+        return empty, empty.copy(), np.empty(0, dtype=float)
     cutoff = threshold.effective_cutoff(n_samples)
     values = std.values
-    genes = matrix.genes
     n = matrix.n_genes
-    pairs: list[tuple[str, str, float]] = []
+    out_i: list[np.ndarray] = []
+    out_j: list[np.ndarray] = []
+    out_r: list[np.ndarray] = []
     for bi in range(0, n, block_size):
         rows = values[bi : bi + block_size]
         for bj in range(bi, n, block_size):
@@ -140,15 +155,106 @@ def correlated_pairs(
                 mask = np.abs(corr) >= cutoff
             else:
                 mask = corr >= cutoff
+            if bi == bj:
+                # Diagonal tile: keep the strict upper triangle (gj > gi).
+                mask = np.triu(mask, k=1)
             ii, jj = np.nonzero(mask)
-            for i, j in zip(ii, jj):
-                gi = bi + int(i)
-                gj = bj + int(j)
-                if gj <= gi:
-                    continue
-                rho = float(np.clip(corr[i, j], -1.0, 1.0))
-                pairs.append((genes[gi], genes[gj], rho))
-    return pairs
+            if ii.size == 0:
+                continue
+            out_i.append(ii + bi)
+            out_j.append(jj + bj)
+            out_r.append(np.clip(corr[ii, jj], -1.0, 1.0))
+    if not out_i:
+        return empty, empty.copy(), np.empty(0, dtype=float)
+    return (
+        np.concatenate(out_i),
+        np.concatenate(out_j),
+        np.concatenate(out_r),
+    )
+
+
+def correlated_pairs(
+    matrix: ExpressionMatrix,
+    threshold: Optional[CorrelationThreshold] = None,
+    block_size: int = 2048,
+) -> list[tuple[str, str, float]]:
+    """Return every gene pair passing the threshold as ``(gene_a, gene_b, rho)``.
+
+    Label-level convenience wrapper over :func:`correlated_pair_arrays` —
+    same pairs, same (tile) order, gene names instead of row indices.
+    """
+    ii, jj, rho = correlated_pair_arrays(matrix, threshold=threshold, block_size=block_size)
+    genes = matrix.genes
+    return [
+        (genes[i], genes[j], r)
+        for i, j, r in zip(ii.tolist(), jj.tolist(), rho.tolist())
+    ]
+
+
+def _first_appearance_order(ii: np.ndarray, jj: np.ndarray) -> np.ndarray:
+    """Vertex indices in order of first appearance in the pair list.
+
+    Mirrors the vertex insertion order of a :class:`Graph` built by calling
+    ``add_edge`` over the pairs in order (each edge introduces first its
+    smaller then its larger endpoint).
+    """
+    seq = np.empty(ii.shape[0] * 2, dtype=np.int64)
+    seq[0::2] = ii
+    seq[1::2] = jj
+    uniq, first = np.unique(seq, return_index=True)
+    return uniq[np.argsort(first, kind="stable")]
+
+
+def csr_from_pair_arrays(
+    matrix: ExpressionMatrix,
+    ii: np.ndarray,
+    jj: np.ndarray,
+    include_all_genes: bool = True,
+) -> CSRGraph:
+    """Build the :class:`CSRGraph` of a thresholded pair list — no ``Graph``.
+
+    The result is bit-identical to ``CSRGraph.from_graph`` applied to the
+    corresponding :func:`build_correlation_network` output: all genes in
+    matrix order (or, with ``include_all_genes=False``, the connected genes
+    in first-appearance order) and per-vertex neighbour rows in ascending
+    gene order — ``from_edge_arrays`` sorts rows ascending regardless of
+    input order, which is exactly the neighbour order tile-ordered
+    ``add_edge`` calls produce, because within the upper triangle tile order
+    visits each vertex's incident pairs by ascending partner index.
+    """
+    csr = CSRGraph.from_edge_arrays(matrix.genes, ii, jj)
+    if include_all_genes:
+        return csr
+    return csr.induced_subgraph(_first_appearance_order(ii, jj))
+
+
+def network_from_pair_arrays(
+    matrix: ExpressionMatrix,
+    ii: np.ndarray,
+    jj: np.ndarray,
+    rho: np.ndarray,
+    include_all_genes: bool = True,
+) -> Graph:
+    """Materialise the label :class:`Graph` of a thresholded pair list.
+
+    Vertex and neighbour iteration order match the historical per-pair
+    construction (see :func:`csr_from_pair_arrays`); each edge carries its
+    correlation as the ``rho`` attribute.
+    """
+    genes = matrix.genes
+    graph = Graph()
+    if include_all_genes:
+        for g in genes:
+            graph.add_vertex(g)
+    else:
+        for i in _first_appearance_order(ii, jj).tolist():
+            graph.add_vertex(genes[i])
+    order = np.lexsort((jj, ii))
+    for i, j, r in zip(
+        ii[order].tolist(), jj[order].tolist(), rho[order].tolist()
+    ):
+        graph.add_edge(genes[i], genes[j], rho=r)
+    return graph
 
 
 def build_correlation_network(
@@ -163,11 +269,30 @@ def build_correlation_network(
     order" of the paper) when ``include_all_genes`` is true; otherwise only
     genes with at least one admitted correlation appear.  Each edge stores the
     correlation coefficient under the ``rho`` attribute.
+
+    Thin label wrapper over the vectorised extraction: the pair arrays come
+    from :func:`correlated_pair_arrays` and only the ``Graph`` materialisation
+    itself is per-edge.  Use :func:`build_correlation_csr` to skip that
+    materialisation entirely.
     """
-    graph = Graph()
-    if include_all_genes:
-        for g in matrix.genes:
-            graph.add_vertex(g)
-    for ga, gb, rho in correlated_pairs(matrix, threshold=threshold, block_size=block_size):
-        graph.add_edge(ga, gb, rho=rho)
-    return graph
+    ii, jj, rho = correlated_pair_arrays(matrix, threshold=threshold, block_size=block_size)
+    return network_from_pair_arrays(matrix, ii, jj, rho, include_all_genes=include_all_genes)
+
+
+def build_correlation_csr(
+    matrix: ExpressionMatrix,
+    threshold: Optional[CorrelationThreshold] = None,
+    block_size: int = 2048,
+    include_all_genes: bool = True,
+) -> CSRGraph:
+    """Build the thresholded correlation network directly as a :class:`CSRGraph`.
+
+    Same network as :func:`build_correlation_network` (gene labels retained,
+    ``CSRGraph.from_graph`` of that graph compares equal) but constructed
+    straight from the correlation tiles by array ops — no per-pair loop, no
+    ``Graph.add_edge``.  Correlation values are not carried (CSR is the
+    attribute-free compute view); build the label graph when ``rho`` is
+    needed.
+    """
+    ii, jj, _rho = correlated_pair_arrays(matrix, threshold=threshold, block_size=block_size)
+    return csr_from_pair_arrays(matrix, ii, jj, include_all_genes=include_all_genes)

@@ -47,8 +47,14 @@ from typing import Optional
 
 import numpy as np
 
+from ..graph.csr import CSRGraph
 from ..graph.graph import Graph, edge_key
-from .correlation import CorrelationThreshold, build_correlation_network
+from .correlation import (
+    CorrelationThreshold,
+    correlated_pair_arrays,
+    csr_from_pair_arrays,
+    network_from_pair_arrays,
+)
 from .microarray import ExpressionMatrix
 
 __all__ = [
@@ -232,6 +238,10 @@ class SyntheticStudy:
     noise_edges_hint: list[tuple[str, str]] = field(default_factory=list)
     seed: int = 0
     _network: Optional[Graph] = field(default=None, repr=False)
+    _network_csr: Optional[CSRGraph] = field(default=None, repr=False)
+    _pairs: dict[CorrelationThreshold, tuple[np.ndarray, np.ndarray, np.ndarray]] = field(
+        default_factory=dict, repr=False
+    )
 
     @property
     def name(self) -> str:
@@ -245,6 +255,26 @@ class SyntheticStudy:
                 out[g] = mod
         return out
 
+    def _pair_arrays(
+        self, threshold: Optional[CorrelationThreshold], rebuild: bool = False
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The thresholded pair arrays, cached per threshold.
+
+        One correlation-tile pass serves both :meth:`network` and
+        :meth:`network_csr`, so preparing a label view and a CSR view of the
+        same study never recomputes the genes × genes correlations — for the
+        default threshold or any explicit one (the frozen dataclass is the
+        cache key).
+        """
+        key = threshold or CorrelationThreshold()
+        if not rebuild:
+            cached = self._pairs.get(key)
+            if cached is not None:
+                return cached
+        pairs = correlated_pair_arrays(self.matrix, threshold=key)
+        self._pairs[key] = pairs
+        return pairs
+
     def network(
         self,
         threshold: Optional[CorrelationThreshold] = None,
@@ -255,14 +285,36 @@ class SyntheticStudy:
         use_cache = threshold is None and not include_all_genes
         if use_cache and self._network is not None and not rebuild:
             return self._network
-        net = build_correlation_network(
-            self.matrix,
-            threshold=threshold or CorrelationThreshold(),
-            include_all_genes=include_all_genes,
+        ii, jj, rho = self._pair_arrays(threshold, rebuild=rebuild)
+        net = network_from_pair_arrays(
+            self.matrix, ii, jj, rho, include_all_genes=include_all_genes
         )
         if use_cache:
             self._network = net
         return net
+
+    def network_csr(
+        self,
+        threshold: Optional[CorrelationThreshold] = None,
+        include_all_genes: bool = False,
+        rebuild: bool = False,
+    ) -> CSRGraph:
+        """Return (and cache) the CSR view of the thresholded correlation network.
+
+        Built directly from the cached pair arrays — no ``Graph``
+        materialisation, no ``from_graph`` conversion.  Equal to
+        ``CSRGraph.from_graph(self.network(...))`` for the same arguments.
+        """
+        use_cache = threshold is None and not include_all_genes
+        if use_cache and self._network_csr is not None and not rebuild:
+            return self._network_csr
+        ii, jj, _rho = self._pair_arrays(threshold, rebuild=rebuild)
+        csr = csr_from_pair_arrays(
+            self.matrix, ii, jj, include_all_genes=include_all_genes
+        )
+        if use_cache:
+            self._network_csr = csr
+        return csr
 
     def true_module_edges(self) -> set[tuple[str, str]]:
         """Return every within-module gene pair as canonical edges (ground truth)."""

@@ -128,6 +128,51 @@ class CSRGraph:
         object.__setattr__(csr, "_rows", rows)
         return csr
 
+    @classmethod
+    def from_edge_arrays(
+        cls,
+        labels: Sequence[Vertex],
+        us: np.ndarray,
+        vs: np.ndarray,
+    ) -> "CSRGraph":
+        """Build a CSR graph straight from aligned undirected edge arrays.
+
+        ``us[k]`` and ``vs[k]`` are the endpoint *indices* of edge ``k`` into
+        ``labels``; each undirected edge must appear exactly once (either
+        orientation) with no self loops or duplicates.  Rows of the result are
+        sorted ascending — for an edge list that is globally sorted by
+        ``(min, max)`` endpoint this is exactly the CSR that
+        :meth:`from_graph` would produce for a :class:`Graph` built by adding
+        those edges in order, because each vertex then meets its neighbours in
+        ascending-index order.  Construction is fully vectorised (one
+        ``argsort`` over the symmetrised arrays), no per-edge Python loop.
+        """
+        labels = tuple(labels)
+        n = len(labels)
+        us = np.ascontiguousarray(us, dtype=np.int64)
+        vs = np.ascontiguousarray(vs, dtype=np.int64)
+        if us.shape != vs.shape or us.ndim != 1:
+            raise ValueError("us and vs must be equal-length 1-D arrays")
+        if us.size:
+            lo, hi = min(us.min(), vs.min()), max(us.max(), vs.max())
+            if lo < 0 or hi >= n:
+                raise ValueError("edge endpoints contain out-of-range vertex ids")
+            if (us == vs).any():
+                raise ValueError("self loops are not allowed")
+        src = np.concatenate([us, vs])
+        dst = np.concatenate([vs, us])
+        # Stable sort by (row, column): gives sorted rows and deterministic
+        # layout; n_vertices+1 bins keeps searchsorted-free row offsets.
+        order = np.lexsort((dst, src))
+        src, dst = src[order], dst[order]
+        if src.size and (
+            (src[1:] == src[:-1]) & (dst[1:] == dst[:-1])
+        ).any():
+            raise ValueError("duplicate edges in input arrays")
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
+        return cls(indptr, dst, labels)
+
     def to_graph(self) -> Graph:
         """Convert back to a :class:`Graph`.
 
@@ -309,6 +354,27 @@ class CSRGraph:
             object.__setattr__(self, "_edge_arr", cached)
         return cached
 
+    def gather_rows(self, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenate the neighbour rows of ``rows`` with one fancy index.
+
+        Returns ``(neighbors, row_of)``: the neighbour indices of every listed
+        row back to back, and for each entry the position (into ``rows``) of
+        the row it came from.  This is the shared gather behind
+        :meth:`induced_subgraph` slicing and frontier-expansion BFS loops.
+        """
+        rows = np.ascontiguousarray(rows, dtype=np.int64)
+        starts = self.indptr[rows]
+        counts = self.indptr[rows + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        # out[t] comes from indices[starts[r] + offset-within-row].
+        row_base = np.zeros(rows.shape[0], dtype=np.int64)
+        np.cumsum(counts[:-1], out=row_base[1:])
+        take = np.repeat(starts - row_base, counts) + np.arange(total, dtype=np.int64)
+        row_of = np.repeat(np.arange(rows.shape[0], dtype=np.int64), counts)
+        return self.indices[take], row_of
+
     def induced_subgraph(self, part_indices: Sequence[int]) -> "CSRGraph":
         """Slice the CSR arrays down to the subgraph induced by ``part_indices``.
 
@@ -328,18 +394,10 @@ class CSRGraph:
             raise ValueError("part_indices contain duplicates")
         new_id = np.full(n, -1, dtype=np.int64)
         new_id[sub] = np.arange(k, dtype=np.int64)
-        starts = self.indptr[sub]
-        counts = self.indptr[sub + 1] - starts
-        total = int(counts.sum())
-        if total:
-            # Gather the concatenated neighbour rows of ``sub`` with one fancy
-            # index: out[t] comes from indices[starts[r] + offset-within-row].
-            row_base = np.zeros(k, dtype=np.int64)
-            np.cumsum(counts[:-1], out=row_base[1:])
-            take = np.repeat(starts - row_base, counts) + np.arange(total, dtype=np.int64)
-            mapped = new_id[self.indices[take]]
+        neighbors, row_of = self.gather_rows(sub)
+        if neighbors.size:
+            mapped = new_id[neighbors]
             keep = mapped >= 0
-            row_of = np.repeat(np.arange(k, dtype=np.int64), counts)
             new_counts = np.bincount(row_of[keep], minlength=k)
             new_indices = mapped[keep]
         else:

@@ -10,7 +10,6 @@ filters can be contrasted on both axes.
 
 from __future__ import annotations
 
-from collections import Counter
 from collections.abc import Hashable
 from dataclasses import dataclass
 
@@ -35,16 +34,28 @@ __all__ = [
 Vertex = Hashable
 
 
+def _degree_array(graph: Graph) -> np.ndarray:
+    """All vertex degrees as one array (insertion order), no per-vertex calls."""
+    return np.fromiter(
+        (len(nbrs) for nbrs in graph._adj.values()),
+        dtype=np.int64,
+        count=graph.n_vertices,
+    )
+
+
 def degree_histogram(graph: Graph) -> dict[int, int]:
     """Return a mapping degree → number of vertices with that degree."""
-    return dict(Counter(graph.degree(v) for v in graph.vertices()))
+    if graph.n_vertices == 0:
+        return {}
+    counts = np.bincount(_degree_array(graph))
+    return {int(d): int(c) for d, c in enumerate(counts) if c}
 
 
 def degree_statistics(graph: Graph) -> dict[str, float]:
     """Return mean / max / median degree and degree variance."""
     if graph.n_vertices == 0:
         return {"mean": 0.0, "max": 0.0, "median": 0.0, "variance": 0.0}
-    degs = np.array([graph.degree(v) for v in graph.vertices()], dtype=float)
+    degs = _degree_array(graph).astype(float)
     return {
         "mean": float(degs.mean()),
         "max": float(degs.max()),
@@ -59,22 +70,29 @@ def component_size_distribution(graph: Graph) -> list[int]:
 
 
 def edge_retention(original: Graph, sampled: Graph) -> float:
-    """Return the fraction of original edges present in the sampled graph."""
+    """Return the fraction of original edges present in the sampled graph.
+
+    Counted by per-vertex adjacency-set intersection (each shared undirected
+    edge is seen from both endpoints) — no canonical edge keys, no per-edge
+    membership calls.
+    """
     if original.n_edges == 0:
         return 1.0
-    kept = sum(1 for u, v in original.iter_edges() if sampled.has_edge(u, v))
-    return kept / original.n_edges
+    sampled_adj = sampled._adj
+    shared_directed = 0
+    for u, nbrs in original._adj.items():
+        sampled_nbrs = sampled_adj.get(u)
+        if sampled_nbrs:
+            shared_directed += len(nbrs.keys() & sampled_nbrs.keys())
+    return (shared_directed // 2) / original.n_edges
 
 
 def vertex_coverage(original: Graph, sampled: Graph) -> float:
     """Return the fraction of original vertices that are non-isolated in the sample."""
     if original.n_vertices == 0:
         return 1.0
-    covered = sum(
-        1
-        for v in original.vertices()
-        if sampled.has_vertex(v) and sampled.degree(v) > 0
-    )
+    sampled_adj = sampled._adj
+    covered = sum(1 for v in original._adj if sampled_adj.get(v))
     return covered / original.n_vertices
 
 

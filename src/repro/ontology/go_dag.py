@@ -15,6 +15,10 @@ from collections import deque
 from collections.abc import Iterable
 from typing import Optional
 
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
 __all__ = ["GOTerm", "GODag"]
 
 
@@ -49,7 +53,16 @@ class GODag:
         self._terms[root_id] = root
         self._depth_cache: dict[str, int] = {root_id: 0}
         self._ancestor_cache: dict[str, frozenset[str]] = {}
-        self._distance_cache: dict[tuple[str, str], int] = {}
+        # Distance engine (all lazy, invalidated on structural changes): the
+        # undirected parent/child structure as a CSRGraph, a term → row index
+        # map, and one cached distance array per BFS source term_distance has
+        # seen (bounded FIFO — see _SSSP_CACHE_LIMIT).  One BFS costs what
+        # the old early-exit pair BFS cost, but serves *every* pair touching
+        # that source afterwards — the enrichment scorer combines the same
+        # annotation terms across thousands of cluster edges.
+        self._sssp_cache: dict[str, np.ndarray] = {}
+        self._dist_index: Optional[dict[str, int]] = None
+        self._dist_csr: Optional[CSRGraph] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -71,6 +84,11 @@ class GODag:
             self._terms[p].children.append(term_id)
         self._depth_cache[term_id] = 1 + max(self._depth_cache[p] for p in parent_list)
         self._ancestor_cache.pop(term_id, None)
+        # A new leaf invalidates the distance engine twice over: the cached
+        # CSR view and distance arrays are missing the term, and a leaf with
+        # several parents creates parent–leaf–parent shortcuts that can
+        # shorten existing undirected distances.
+        self._invalidate_distances()
         return term
 
     def add_parent(self, term_id: str, parent_id: str) -> None:
@@ -90,7 +108,7 @@ class GODag:
         parent.children.append(term_id)
         # Longest-path depths of the term and its descendants may grow.
         self._ancestor_cache.clear()
-        self._distance_cache.clear()
+        self._invalidate_distances()
         self._recompute_depths_from(term_id)
 
     def _recompute_depths_from(self, term_id: str) -> None:
@@ -187,22 +205,102 @@ class GODag:
     # ------------------------------------------------------------------
     # distances
     # ------------------------------------------------------------------
+    #: At most this many per-source distance arrays are kept (FIFO).  Each
+    #: array is one int64 per term, so the cache is bounded by
+    #: ``limit × n_terms × 8`` bytes regardless of how many distinct
+    #: annotation terms a long-lived DAG is queried with.
+    _SSSP_CACHE_LIMIT = 1024
+
+    def _invalidate_distances(self) -> None:
+        self._sssp_cache.clear()
+        self._dist_index = None
+        self._dist_csr = None
+
+    def _ensure_distance_csr(self) -> None:
+        """Build the undirected parent/child structure as a CSRGraph (lazy).
+
+        The parent links alone enumerate every undirected edge exactly once
+        (child lists are their mirrors), so the term graph drops straight
+        into :meth:`CSRGraph.from_edge_arrays`.
+        """
+        if self._dist_index is not None:
+            return
+        index = {t: i for i, t in enumerate(self._terms)}
+        us = [
+            index[t]
+            for t, term in self._terms.items()
+            for _ in term.parents
+        ]
+        vs = [index[p] for term in self._terms.values() for p in term.parents]
+        self._dist_csr = CSRGraph.from_edge_arrays(
+            tuple(self._terms),
+            np.asarray(us, dtype=np.int64),
+            np.asarray(vs, dtype=np.int64),
+        )
+        self._dist_index = index
+
+    def _distances_from(self, src: int) -> np.ndarray:
+        """All BFS distances from term row ``src`` (−1 where unreachable)."""
+        csr = self._dist_csr
+        dist = np.full(csr.n_vertices, -1, dtype=np.int64)
+        dist[src] = 0
+        frontier = np.array([src], dtype=np.int64)
+        d = 0
+        while frontier.size:
+            d += 1
+            nbrs, _ = csr.gather_rows(frontier)
+            nbrs = nbrs[dist[nbrs] < 0]
+            if nbrs.size == 0:
+                break
+            frontier = np.unique(nbrs)
+            dist[frontier] = d
+        return dist
+
     def term_distance(self, term_a: str, term_b: str) -> int:
         """Return the shortest undirected path length between two terms.
 
         This is the paper's *term breadth*: how far apart the two annotations
         sit in the ontology.  Terms in disconnected annotation namespaces
         would return ``-1``, but a rooted DAG is always connected.
+
+        Distances come from a frontier-array BFS over a CSR view of the
+        undirected term structure, cached per source term: one BFS costs what
+        resolving a single pair used to cost, but the enrichment scorer asks
+        for many pairs sharing a source — every cluster edge combines the
+        same annotation terms — so amortised each additional pair is an array
+        lookup.  Either endpoint's cached array answers (distance is
+        symmetric).
         """
         if term_a == term_b:
             return 0
         self.term(term_a)
         self.term(term_b)
-        cache_key = (term_a, term_b) if term_a < term_b else (term_b, term_a)
-        cached = self._distance_cache.get(cache_key)
+        cached = self._sssp_cache.get(term_a)
         if cached is not None:
-            return cached
-        # BFS over the undirected parent/child structure.
+            return int(cached[self._dist_index[term_b]])
+        cached = self._sssp_cache.get(term_b)
+        if cached is not None:
+            return int(cached[self._dist_index[term_a]])
+        self._ensure_distance_csr()
+        src = term_a if term_a < term_b else term_b
+        dst = term_b if src is term_a else term_a
+        dist = self._distances_from(self._dist_index[src])
+        if len(self._sssp_cache) >= self._SSSP_CACHE_LIMIT:
+            self._sssp_cache.pop(next(iter(self._sssp_cache)))
+        self._sssp_cache[src] = dist
+        return int(dist[self._dist_index[dst]])
+
+    def reference_term_distance(self, term_a: str, term_b: str) -> int:
+        """Seed ``term_distance``: an early-exit pair BFS, no cross-pair reuse.
+
+        Retained as the behavioural reference for the CSR frontier BFS (and
+        as the baseline measurement in ``benchmarks/bench_workflow.py``);
+        the test suite pins :meth:`term_distance` to it.
+        """
+        if term_a == term_b:
+            return 0
+        self.term(term_a)
+        self.term(term_b)
         dist = {term_a: 0}
         queue: deque[str] = deque([term_a])
         result = -1
@@ -217,7 +315,6 @@ class GODag:
                         queue.clear()
                         break
                     queue.append(nxt)
-        self._distance_cache[cache_key] = result
         return result
 
     def path_to_root(self, term_id: str) -> list[str]:

@@ -31,11 +31,12 @@ from ..clustering.evaluation import (
     quadrant_counts,
 )
 from ..clustering.mcode import MCODEParams, mcode_clusters
-from ..clustering.overlap import ClusterMatch, found_clusters, lost_clusters, match_clusters
+from ..clustering.overlap import ClusterMatch, found_clusters, match_and_lost_clusters
 from ..core.results import FilterResult
 from ..core.sampling import apply_filter
 from ..expression.correlation import CorrelationThreshold
 from ..expression.datasets import SyntheticStudy, make_study
+from ..graph.csr import CSRGraph
 from ..graph.graph import Graph
 from ..ontology.enrichment import EnrichmentScorer
 from ..ontology.generator import make_study_ontology
@@ -55,6 +56,10 @@ class DatasetBundle:
     mcode_params: MCODEParams
     thresholds: EvaluationThresholds
     scale: float = 1.0
+    #: CSR view of ``network``, built directly from the expression matrix
+    #: (one correlation pass serves both views); ``None`` only for bundles
+    #: constructed by hand without it.
+    network_csr: Optional[CSRGraph] = None
 
     @property
     def n_vertices(self) -> int:
@@ -125,9 +130,18 @@ class FilterAnalysis:
         return rows
 
 
-def cluster_network(graph: Graph, params: Optional[MCODEParams] = None, source: str = "") -> list[Cluster]:
-    """Cluster a network with MCODE under the paper's default parameters."""
-    return mcode_clusters(graph, params=params or MCODEParams(), source=source)
+def cluster_network(
+    graph: Graph,
+    params: Optional[MCODEParams] = None,
+    source: str = "",
+    csr: Optional[CSRGraph] = None,
+) -> list[Cluster]:
+    """Cluster a network with MCODE under the paper's default parameters.
+
+    ``csr`` optionally reuses a prebuilt CSR view of ``graph`` (the bundle's
+    ``network_csr``) so the index-native MCODE skips its one conversion.
+    """
+    return mcode_clusters(graph, params=params or MCODEParams(), source=source, csr=csr)
 
 
 def prepare_dataset(
@@ -150,12 +164,19 @@ def prepare_dataset(
     params = mcode_params or MCODEParams()
     thresholds = thresholds or EvaluationThresholds()
     study = make_study(name, scale=scale, seed=seed)
+    # Both network views come from one cached correlation pass: the label
+    # graph for the filters (edge attributes, spanning subgraphs) and the CSR
+    # view — built straight from the expression tiles — for the index-native
+    # analysis kernels.
     network = study.network(threshold=correlation_threshold)
+    network_csr = study.network_csr(threshold=correlation_threshold)
     dag, annotations = make_study_ontology(
         study, depth=ontology_depth, branching=ontology_branching
     )
     scorer = EnrichmentScorer(dag, annotations)
-    original_clusters = cluster_network(network, params, source=f"{study.name}/original")
+    original_clusters = cluster_network(
+        network, params, source=f"{study.name}/original", csr=network_csr
+    )
     return DatasetBundle(
         name=study.name,
         study=study,
@@ -165,6 +186,7 @@ def prepare_dataset(
         mcode_params=params,
         thresholds=thresholds,
         scale=scale,
+        network_csr=network_csr,
     )
 
 
@@ -191,9 +213,17 @@ def analyze_filter(
     )
     label = f"{bundle.name}/{method}/{ordering or '-'}/{n_partitions}P"
     clusters = cluster_network(result.graph, bundle.mcode_params, source=label)
-    matches = match_clusters(bundle.original_clusters, clusters)
+    matches, lost = match_and_lost_clusters(bundle.original_clusters, clusters)
     scored_node = classify_matches(matches, bundle.scorer, bundle.thresholds, "node_overlap")
-    scored_edge = classify_matches(matches, bundle.scorer, bundle.thresholds, "edge_overlap")
+    # The edge-overlap pass classifies the same filtered clusters, so it
+    # reuses the node pass's enrichment scores instead of re-walking edges.
+    scored_edge = classify_matches(
+        matches,
+        bundle.scorer,
+        bundle.thresholds,
+        "edge_overlap",
+        aees=[s.aees for s in scored_node],
+    )
     return FilterAnalysis(
         bundle=bundle,
         result=result,
@@ -202,7 +232,7 @@ def analyze_filter(
         scored_by_node=scored_node,
         scored_by_edge=scored_edge,
         found=found_clusters(matches),
-        lost=lost_clusters(bundle.original_clusters, clusters),
+        lost=lost,
         node_counts=quadrant_counts(scored_node),
         edge_counts=quadrant_counts(scored_edge),
     )

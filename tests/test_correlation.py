@@ -8,12 +8,15 @@ import pytest
 from repro.expression import (
     CorrelationThreshold,
     ExpressionMatrix,
+    build_correlation_csr,
     build_correlation_network,
+    correlated_pair_arrays,
     correlated_pairs,
     correlation_p_value,
     critical_correlation,
     pearson_correlation_matrix,
 )
+from repro.graph import CSRGraph
 
 
 def toy_matrix() -> ExpressionMatrix:
@@ -104,6 +107,33 @@ class TestThreshold:
         t = CorrelationThreshold(min_abs_rho=0.5, max_p_value=0.0005)
         assert t.effective_cutoff(6) > 0.5
 
+    def test_admits_positive_branch(self):
+        """Without ``include_negative`` the signed ρ (clamped at 0) is tested."""
+        t = CorrelationThreshold(min_abs_rho=0.9, max_p_value=0.01)
+        assert t.admits(0.95, 30)
+        assert not t.admits(0.5, 30)          # below the magnitude bar
+        assert not t.admits(-0.95, 30)        # strong negatives clamp to 0
+        # a degenerate bar of 0.0 admits any rho whose p-value passes
+        zero_bar = CorrelationThreshold(min_abs_rho=0.0, max_p_value=0.01)
+        assert zero_bar.admits(-0.95, 30)
+        assert not zero_bar.admits(0.01, 30)  # magnitude fine, p-value fails
+
+    def test_admits_negative_branch(self):
+        """With ``include_negative`` the magnitude |ρ| is tested."""
+        t = CorrelationThreshold(min_abs_rho=0.9, max_p_value=0.01, include_negative=True)
+        assert t.admits(0.95, 30)
+        assert t.admits(-0.95, 30)
+        assert not t.admits(-0.5, 30)         # |rho| below the bar
+        assert not t.admits(0.5, 30)
+
+    def test_admits_p_value_vetoes_both_branches(self):
+        # with 4 samples even rho = 0.93 is insignificant at p <= 0.0005
+        for include_negative in (False, True):
+            t = CorrelationThreshold(
+                min_abs_rho=0.9, max_p_value=0.0005, include_negative=include_negative
+            )
+            assert not t.admits(0.93, 4)
+
 
 class TestNetworkConstruction:
     def test_correlated_pairs_found(self):
@@ -139,3 +169,27 @@ class TestNetworkConstruction:
     def test_single_sample_matrix_yields_empty_network(self):
         m = ExpressionMatrix(np.zeros((3, 1)), genes=["a", "b", "c"], samples=["s"])
         assert build_correlation_network(m).n_edges == 0
+
+    def test_pair_arrays_align_with_pairs(self):
+        m = toy_matrix()
+        ii, jj, rho = correlated_pair_arrays(m)
+        assert ii.dtype == np.int64 and jj.dtype == np.int64
+        assert (ii < jj).all()
+        rebuilt = [(m.genes[i], m.genes[j], r) for i, j, r in zip(ii, jj, rho)]
+        assert rebuilt == correlated_pairs(m)
+
+    def test_csr_matches_graph_conversion(self):
+        m = toy_matrix()
+        for include_all, block_size in [(True, 2048), (False, 2048), (True, 2), (False, 2)]:
+            net = build_correlation_network(
+                m, include_all_genes=include_all, block_size=block_size
+            )
+            csr = build_correlation_csr(
+                m, include_all_genes=include_all, block_size=block_size
+            )
+            assert csr == CSRGraph.from_graph(net), (include_all, block_size)
+
+    def test_empty_matrix_yields_empty_csr(self):
+        m = ExpressionMatrix(np.zeros((3, 1)), genes=["a", "b", "c"], samples=["s"])
+        assert build_correlation_csr(m).n_edges == 0
+        assert build_correlation_csr(m, include_all_genes=False).n_vertices == 0
