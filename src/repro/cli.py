@@ -26,6 +26,7 @@ import sys
 from typing import Optional, Sequence
 
 from .core.sampling import apply_filter, filter_names
+from .parallel.runner import available_backends
 from .expression.datasets import DATASET_CONFIGS, dataset_names, make_study
 from .graph.io import write_edge_list
 from .graph.ordering import get_ordering, ordering_names
@@ -66,6 +67,16 @@ def build_parser() -> argparse.ArgumentParser:
     filt.add_argument("--ordering", choices=ordering_names(), default="natural")
     filt.add_argument("--partitions", type=int, default=1, help="number of simulated processors")
     filt.add_argument("--partition-method", default="block", help="block / bfs / hash / greedy")
+    filt.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help="execution backend for the parallel chordal filters "
+        "(default: each filter's own — serial for the no-communication "
+        "sampler, threaded SPMD for the with-communication one); "
+        "'process-shm' runs ranks on real cores with zero-copy "
+        "shared-memory graph buffers",
+    )
     filt.add_argument("--seed", type=int, default=0, help="seed for the random-walk filter")
     filt.add_argument("--output", default=None, help="write the filtered network as an edge list to this path")
 
@@ -153,6 +164,7 @@ def _cmd_filter(args: argparse.Namespace) -> int:
         n_partitions=args.partitions,
         partition_method=args.partition_method,
         seed=args.seed,
+        backend=args.backend,
     )
     print(format_kv(result.summary(), title=f"{args.dataset} @ scale {scale}: {args.method}"))
     if args.output:

@@ -44,7 +44,8 @@ from ..graph.csr import CSRGraph
 from ..graph.graph import Graph, edge_key
 from ..graph.partition import Partition
 from ..parallel.comm import SimComm
-from ..parallel.runner import run_spmd
+from ..parallel.runner import available_backends, run_spmd
+from ..parallel.shm import arena_scope, owned_arena
 from ..parallel.timing import RankWork
 from .chordal import chordal_subgraph_edge_indices, edge_insertion_preserves_chordality
 from .parallel_nocomm import resolve_index_partition
@@ -202,6 +203,48 @@ def _rank_function(
     }
 
 
+def _rank_function_shm(
+    comm: SimComm,
+    payload: dict,
+    rank: int,
+    border_by_peer: dict[int, list[IndexEdge]],
+    strict_order: bool,
+) -> dict:
+    """Arena-payload SPMD body: shared buffers in, sliced rank run, arrays out.
+
+    The parent ships ``payload`` as a dict of
+    :class:`~repro.parallel.shm.ArenaRef` handles (whole-graph CSR buffers,
+    concatenated per-part vertex arrays with offsets, optional priority
+    vector); by the time this body runs, the SPMD backend has already
+    resolved every ref into a zero-copy read-only view (see
+    ``_spmd_process_child``), so ``payload`` arrives as plain arrays here.
+    The rank reconstructs its own subgraph from the shared views and then
+    executes the identical :func:`_rank_function` protocol, so admission
+    decisions (and hence the output edge set) cannot drift.  Edge lists
+    return as ``(k, 2)`` arrays.
+    """
+    arrays = payload
+    csr = CSRGraph.from_buffers(arrays["indptr"], arrays["indices"])
+    offsets = arrays["parts_offsets"]
+    part_idx = arrays["parts_flat"][int(offsets[rank]) : int(offsets[rank + 1])]
+    position = arrays.get("position")
+    sub = csr.induced_subgraph(part_idx)
+    out = _rank_function(
+        comm,
+        sub.indptr,
+        sub.indices,
+        part_idx,
+        border_by_peer,
+        None if position is None else position[part_idx],
+        strict_order,
+    )
+    return {
+        "local_edges": np.asarray(out["local_edges"], dtype=np.int64).reshape(-1, 2),
+        "accepted_border": np.asarray(out["accepted_border"], dtype=np.int64).reshape(-1, 2),
+        "work": out["work"],
+    }
+
+
 def parallel_chordal_comm_filter(
     graph: Graph,
     n_partitions: int,
@@ -210,16 +253,28 @@ def parallel_chordal_comm_filter(
     partition_method: str = "block",
     partition: Optional[Partition] = None,
     strict_order: bool = False,
+    backend: Optional[str] = None,
 ) -> FilterResult:
     """Run the with-communication parallel chordal filter (the older baseline).
 
     Parameters mirror
-    :func:`repro.core.parallel_nocomm.parallel_chordal_nocomm_filter`; the
-    execution always uses the threaded SPMD backend because ranks exchange
-    messages.
+    :func:`repro.core.parallel_nocomm.parallel_chordal_nocomm_filter`.
+    Because the ranks exchange messages the execution runs through
+    :func:`repro.parallel.runner.run_spmd`: ``backend=None`` (default) keeps
+    the historical choice — threaded SPMD for ``P > 1``, serial for ``P = 1``
+    — while ``"process"`` runs each rank on a real core with pickled
+    payloads and ``"process-shm"`` additionally shares the graph's buffers
+    through a zero-copy arena.  (``"serial"`` works for any ``P`` here: the
+    lower-rank-sends-first protocol never receives a message that an earlier
+    rank has not already buffered.)  Every backend produces the identical
+    kept edge set in the identical admission order.
     """
     if n_partitions < 1:
         raise ValueError(f"n_partitions must be >= 1, got {n_partitions}")
+    if backend is not None and backend not in available_backends():
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {available_backends()}"
+        )
     start = time.perf_counter()
     csr = CSRGraph.from_graph(graph)
     perm, ordering_name = resolve_order_indices(csr, ordering, explicit_order)
@@ -242,34 +297,73 @@ def parallel_chordal_comm_filter(
         border_by_rank_peer[pu].setdefault(pv, []).append((sort_key, (u, v)))
         border_by_rank_peer[pv].setdefault(pu, []).append((sort_key, (u, v)))
 
-    rank_args = []
-    for rank in range(ipart.n_parts):
-        part_idx = ipart.part_indices(rank)
-        sub = csr.induced_subgraph(part_idx)
-        by_peer = {
+    by_peer_per_rank = [
+        {
             peer: [e for _, e in sorted(entries)]
             for peer, entries in border_by_rank_peer[rank].items()
         }
-        rank_args.append(
-            (
-                sub.indptr,
-                sub.indices,
-                part_idx,
-                by_peer,
-                None if position is None else position[part_idx],
-                strict_order,
-            )
-        )
+        for rank in range(ipart.n_parts)
+    ]
 
-    backend = "thread" if ipart.n_parts > 1 else "serial"
-    report = run_spmd(_rank_function, ipart.n_parts, rank_args=rank_args, backend=backend)
+    resolved_backend = backend or ("thread" if ipart.n_parts > 1 else "serial")
+    if resolved_backend == "process-shm":
+        # Export the whole graph's buffers once; each rank process receives
+        # segment names plus its slice bounds and derives its own subgraph.
+        with owned_arena() as arena, arena_scope(arena):
+            parts_flat, parts_offsets = ipart.flat_parts()
+            payload = arena.export_bundle(
+                {
+                    "indptr": csr.indptr,
+                    "indices": csr.indices,
+                    "parts_flat": parts_flat,
+                    "parts_offsets": parts_offsets,
+                    "position": position,
+                }
+            )
+            rank_args = [
+                (payload, rank, by_peer_per_rank[rank], strict_order)
+                for rank in range(ipart.n_parts)
+            ]
+            report = run_spmd(
+                _rank_function_shm,
+                ipart.n_parts,
+                rank_args=rank_args,
+                backend="process-shm",
+            )
+        rank_values = [
+            {
+                "local_edges": [tuple(e) for e in out["local_edges"].tolist()],
+                "accepted_border": [tuple(e) for e in out["accepted_border"].tolist()],
+                "work": out["work"],
+            }
+            for out in report.values
+        ]
+    else:
+        rank_args = []
+        for rank in range(ipart.n_parts):
+            part_idx = ipart.part_indices(rank)
+            sub = csr.induced_subgraph(part_idx)
+            rank_args.append(
+                (
+                    sub.indptr,
+                    sub.indices,
+                    part_idx,
+                    by_peer_per_rank[rank],
+                    None if position is None else position[part_idx],
+                    strict_order,
+                )
+            )
+        report = run_spmd(
+            _rank_function, ipart.n_parts, rank_args=rank_args, backend=resolved_backend
+        )
+        rank_values = report.values
 
     all_local: list[IndexEdge] = []
     accepted_border_idx: list[IndexEdge] = []
     seen_border: set[IndexEdge] = set()
     duplicates = 0
     works: list[RankWork] = []
-    for rank_out in report.values:
+    for rank_out in rank_values:
         all_local.extend(rank_out["local_edges"])
         works.append(rank_out["work"])
         for e in rank_out["accepted_border"]:
@@ -303,7 +397,7 @@ def parallel_chordal_comm_filter(
         extra={
             "strict_order": strict_order,
             "comm_stats": report.total_stats(),
-            "backend": backend,
+            "backend": resolved_backend,
         },
     )
     result.compute_simulated_time(with_communication=True)

@@ -38,7 +38,8 @@ from __future__ import annotations
 
 import time
 from collections.abc import Hashable, Sequence
-from typing import Optional
+from dataclasses import dataclass
+from typing import Any, Optional
 
 import numpy as np
 
@@ -51,7 +52,8 @@ from ..graph.partition import (
     block_partition_indices,
     index_partition_graph,
 )
-from ..parallel.runner import parallel_map
+from ..parallel.runner import available_backends, parallel_map
+from ..parallel.shm import attach, owned_arena
 from ..parallel.timing import RankWork
 from .chordal import chordal_edges_from_csr, chordal_subgraph_edge_indices
 from .results import FilterResult
@@ -62,6 +64,7 @@ __all__ = [
     "local_chordal_phase",
     "admit_border_edges_no_communication",
     "admit_border_edges_no_communication_indices",
+    "admit_border_edges_no_communication_arrays",
 ]
 
 Vertex = Hashable
@@ -184,6 +187,143 @@ def admit_border_edges_no_communication_indices(
     return sorted(admitted)
 
 
+def admit_border_edges_no_communication_arrays(
+    border_u: np.ndarray,
+    border_v: np.ndarray,
+    u_internal: np.ndarray,
+    v_internal: np.ndarray,
+    chordal_u: np.ndarray,
+    chordal_v: np.ndarray,
+) -> list[IndexEdge]:
+    """Vectorised triangle-rule admission (the production path).
+
+    Same contract as :func:`admit_border_edges_no_communication_indices` with
+    the rank's local chordal edges given as aligned index arrays instead of
+    an adjacency dict.  The scalar rule — admit the border pair
+    ``(x, b1), (x, b2)`` when ``(b1, b2)`` is a local chordal edge — is
+    reformulated over packed edge keys: every border pair ``(external e,
+    internal i)`` is expanded by ``i``'s chordal neighbours ``j``, and the
+    expansion survives when ``(e, j)`` is itself one of the rank's border
+    pairs, which closes the triangle ``e–i–j``.  One gather, one
+    ``searchsorted`` and one ``unique`` replace the per-external Python pair
+    loops; the result is the identical sorted canonical edge list (pinned to
+    the scalar reference by the property suite).
+    """
+    us, vs = _admit_border_keys(
+        border_u, border_v, u_internal, v_internal, chordal_u, chordal_v
+    )
+    return list(zip(us.tolist(), vs.tolist()))
+
+
+_EMPTY_EDGES = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+
+
+def _admit_border_keys(
+    border_u: np.ndarray,
+    border_v: np.ndarray,
+    u_internal: np.ndarray,
+    v_internal: np.ndarray,
+    chordal_u: np.ndarray,
+    chordal_v: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Array core of the vectorised admission: canonical ``(us, vs)`` sorted."""
+    one_internal = u_internal ^ v_internal
+    if not one_internal.any() or chordal_u.shape[0] == 0:
+        return _EMPTY_EDGES
+    ext = np.where(u_internal, border_v, border_u)[one_internal]
+    internal = np.where(u_internal, border_u, border_v)[one_internal]
+    # Work in a compact id space over the vertices this rank actually sees,
+    # so allocations scale with the local part, not the global vertex count
+    # (block partitions hand the last rank ids near N).  ``ids`` is sorted,
+    # so the compact↔global mapping is monotonic and preserves the
+    # lexicographic output order.
+    ids = np.unique(np.concatenate([ext, internal, chordal_u, chordal_v]))
+    n = int(ids.shape[0])
+    ext = np.searchsorted(ids, ext)
+    internal = np.searchsorted(ids, internal)
+    chordal_u = np.searchsorted(ids, chordal_u)
+    chordal_v = np.searchsorted(ids, chordal_v)
+    packed_border = np.sort(ext * n + internal)
+    # Chordal adjacency in CSR form over the packed id range (both
+    # orientations), built with one bincount + argsort.
+    src = np.concatenate([chordal_u, chordal_v])
+    dst = np.concatenate([chordal_v, chordal_u])
+    order = np.argsort(src, kind="stable")
+    src, dst = src[order], dst[order]
+    adj_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(src, minlength=n), out=adj_indptr[1:])
+    starts = adj_indptr[internal]
+    counts = adj_indptr[internal + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return _EMPTY_EDGES
+    row_base = np.zeros(internal.shape[0], dtype=np.int64)
+    np.cumsum(counts[:-1], out=row_base[1:])
+    take = np.repeat(starts - row_base, counts) + np.arange(total, dtype=np.int64)
+    nbrs = dst[take]
+    e_exp = np.repeat(ext, counts)
+    i_exp = np.repeat(internal, counts)
+    cand = e_exp * n + nbrs
+    pos = np.searchsorted(packed_border, cand)
+    pos_clip = np.minimum(pos, packed_border.shape[0] - 1)
+    hit = (pos < packed_border.shape[0]) & (packed_border[pos_clip] == cand)
+    if not hit.any():
+        return _EMPTY_EDGES
+    eh, ih, nh = e_exp[hit], i_exp[hit], nbrs[hit]
+    first = np.minimum(eh, ih) * n + np.maximum(eh, ih)
+    second = np.minimum(eh, nh) * n + np.maximum(eh, nh)
+    keys = np.unique(np.concatenate([first, second]))
+    return ids[keys // n], ids[keys % n]
+
+
+def _rank_task_core(
+    sub_indptr: np.ndarray,
+    sub_indices: np.ndarray,
+    part_idx: np.ndarray,
+    border_u: np.ndarray,
+    border_v: np.ndarray,
+    u_internal: np.ndarray,
+    v_internal: np.ndarray,
+    local_priority: Optional[np.ndarray],
+    strict_order: bool,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, RankWork]:
+    """Array core of the per-rank computation (local phase + admission).
+
+    Returns the kept local chordal edges and the admitted border edges as
+    two aligned canonical index array pairs, plus the work counters.  The
+    local edges are in kernel acceptance order, the admitted edges sorted —
+    the exact sequences the merge depends on.
+    """
+    k = int(part_idx.shape[0])
+    sub = CSRGraph(sub_indptr, sub_indices, labels=range(k))
+    pairs = chordal_subgraph_edge_indices(sub, priority=local_priority, strict_order=strict_order)
+    m = len(pairs)
+    if m:
+        flat = np.fromiter(
+            (x for pair in pairs for x in pair), dtype=np.int64, count=2 * m
+        )
+        endpoints = part_idx[flat].reshape(-1, 2)
+        chordal_u = np.minimum(endpoints[:, 0], endpoints[:, 1])
+        chordal_v = np.maximum(endpoints[:, 0], endpoints[:, 1])
+    else:
+        chordal_u, chordal_v = _EMPTY_EDGES
+    admitted_u, admitted_v = _admit_border_keys(
+        border_u, border_v, u_internal, v_internal, chordal_u, chordal_v
+    )
+    n_border = int(border_u.shape[0])
+    work = RankWork(
+        # Admission examines each border edge; count them as extra examined
+        # edges for the cost model (mirrors the label-level pipeline).
+        edges_examined=sub.n_edges + n_border,
+        chordality_checks=sub.degree_sum(),
+        border_edges=n_border,
+        messages=0,
+        items_sent=0,
+        max_degree=max(sub.max_degree(), 1),
+    )
+    return chordal_u, chordal_v, admitted_u, admitted_v, work
+
+
 def _rank_task_indices(
     sub_indptr: np.ndarray,
     sub_indices: np.ndarray,
@@ -201,32 +341,166 @@ def _rank_task_indices(
     backend pickles compact buffers instead of ``Graph`` objects.  Returned
     edges are canonical global-index pairs.
     """
-    k = int(part_idx.shape[0])
-    sub = CSRGraph(sub_indptr, sub_indices, labels=range(k))
-    pairs = chordal_subgraph_edge_indices(sub, priority=local_priority, strict_order=strict_order)
-    part_list = part_idx.tolist()
-    local_edges: list[IndexEdge] = []
-    chordal_adj: dict[int, set[int]] = {}
-    for i, j in pairs:
-        gi, gj = part_list[i], part_list[j]
-        local_edges.append((gi, gj) if gi < gj else (gj, gi))
-        chordal_adj.setdefault(gi, set()).add(gj)
-        chordal_adj.setdefault(gj, set()).add(gi)
-    admitted = admit_border_edges_no_communication_indices(
-        border_u, border_v, u_internal, v_internal, chordal_adj
+    cu, cv, au, av, work = _rank_task_core(
+        sub_indptr,
+        sub_indices,
+        part_idx,
+        border_u,
+        border_v,
+        u_internal,
+        v_internal,
+        local_priority,
+        strict_order,
     )
-    n_border = int(border_u.shape[0])
-    work = RankWork(
-        # Admission examines each border edge; count them as extra examined
-        # edges for the cost model (mirrors the label-level pipeline).
-        edges_examined=sub.n_edges + n_border,
-        chordality_checks=sub.degree_sum(),
-        border_edges=n_border,
-        messages=0,
-        items_sent=0,
-        max_degree=max(sub.max_degree(), 1),
-    )
+    local_edges = list(zip(cu.tolist(), cv.tolist()))
+    admitted = list(zip(au.tolist(), av.tolist()))
     return local_edges, admitted, work
+
+
+@dataclass(frozen=True)
+class _ShmPayload:
+    """The arena-resident rank payload of the no-communication sampler.
+
+    A handful of :class:`~repro.parallel.shm.ArenaRef` handles naming the
+    *whole* graph's shared buffers — CSR pair, partition assignment,
+    concatenated per-part vertex arrays with offsets, the global border-edge
+    arrays and the optional ordering-priority vector.  Deliberately a frozen
+    dataclass rather than a dict: the generic
+    :func:`~repro.parallel.shm.resolve_payload` leaves it untouched, so the
+    rank task sees the refs themselves and can use the (hashable) payload as
+    its per-graph memo key.
+    """
+
+    indptr: "Any"
+    indices: "Any"
+    assignment: "Any"
+    parts_flat: "Any"
+    parts_offsets: "Any"
+    border_u: "Any"
+    border_v: "Any"
+    position: "Any"
+
+
+#: Worker-side memo of state derived from an arena payload: the attached CSR
+#: view, the border endpoints' part assignments, and — filled in lazily —
+#: each rank's fully sliced task inputs.  A pool worker executes many ranks
+#: of the same graph back to back (and a batch scale-group re-runs the same
+#: payload spec after spec: the ambient arena's content dedup hands out
+#: identical refs for rebuilt-but-equal buffers), so the per-graph part is
+#: derived once per graph and the per-rank slices once per (graph, rank) —
+#: a memoisation that payload *names* make possible and payload *bytes*
+#: (the pickled path) cannot have.  Bounded to the last few payloads.
+_RankInputs = tuple
+_SHM_GRAPH_MEMO: "dict[_ShmPayload, tuple[CSRGraph, np.ndarray, np.ndarray, dict[int, _RankInputs]]]" = {}
+_SHM_GRAPH_MEMO_MAX = 2
+
+
+def _shm_graph_state(
+    payload: _ShmPayload,
+) -> tuple[CSRGraph, np.ndarray, np.ndarray, dict[int, _RankInputs]]:
+    """Attach (or recall) the shared graph, border part vectors, rank cache."""
+    hit = _SHM_GRAPH_MEMO.get(payload)
+    if hit is not None:
+        return hit
+    csr = CSRGraph.from_buffers(attach(payload.indptr), attach(payload.indices))
+    assignment = attach(payload.assignment)
+    state = (
+        csr,
+        assignment[attach(payload.border_u)],
+        assignment[attach(payload.border_v)],
+        {},
+    )
+    while len(_SHM_GRAPH_MEMO) >= _SHM_GRAPH_MEMO_MAX:
+        _SHM_GRAPH_MEMO.pop(next(iter(_SHM_GRAPH_MEMO)))
+    _SHM_GRAPH_MEMO[payload] = state
+    return state
+
+
+def _rank_task_shm(
+    payload: _ShmPayload,
+    rank: int,
+    strict_order: bool,
+) -> tuple[np.ndarray, np.ndarray, RankWork]:
+    """Arena-payload rank task: attach shared buffers, slice, run, return arrays.
+
+    The rank derives its own subgraph and border set from the shared
+    read-only views — the per-rank slicing that the pickled-payload path
+    performs in the parent — and calls the same :func:`_rank_task_core`,
+    so the admitted edge sequence is bit-identical.  The sliced inputs are
+    memoised per (payload, rank): re-running the same payload (a batch
+    scale-group, a benchmark repeat) skips straight to the kernel.  Results
+    travel back as compact ``(k, 2)`` index arrays instead of tuple lists.
+    """
+    csr, u_part, v_part, rank_cache = _shm_graph_state(payload)
+    inputs = rank_cache.get(rank)
+    if inputs is None:
+        offsets = attach(payload.parts_offsets)
+        part_idx = attach(payload.parts_flat)[int(offsets[rank]) : int(offsets[rank + 1])]
+        # The shared border arrays are the already-masked subsequence of the
+        # graph's edge_array(); selecting this rank's rows preserves that
+        # order, so the admission scan sees the same sequence as the pickled
+        # path.
+        touches = (u_part == rank) | (v_part == rank)
+        bu, bv = attach(payload.border_u)[touches], attach(payload.border_v)[touches]
+        position = None if payload.position is None else attach(payload.position)
+        sub = csr.induced_subgraph(part_idx)
+        inputs = (
+            sub.indptr,
+            sub.indices,
+            part_idx,
+            bu,
+            bv,
+            u_part[touches] == rank,
+            v_part[touches] == rank,
+            None if position is None else position[part_idx],
+        )
+        rank_cache[rank] = inputs
+    cu, cv, au, av, work = _rank_task_core(*inputs, strict_order)
+    return np.stack([cu, cv], axis=1), np.stack([au, av], axis=1), work
+
+
+def _run_ranks_shm(
+    csr: CSRGraph,
+    ipart: IndexPartition,
+    position: Optional[np.ndarray],
+    strict_order: bool,
+    processes: Optional[int],
+) -> list[tuple[list[IndexEdge], list[IndexEdge], RankWork]]:
+    """Fan the ranks out over the process pool with arena-backed payloads.
+
+    The graph's buffers are exported to shared memory once (into the ambient
+    :func:`~repro.parallel.shm.arena_scope` arena when one is active — the
+    batch engine opens one per scale-group — else into a private arena
+    unlinked before returning); every rank's payload is then a handful of
+    segment names plus its slice bounds.
+    """
+    with owned_arena() as arena:
+        parts_flat, parts_offsets = ipart.flat_parts()
+        border_u, border_v = ipart.border_edges()
+        payload = _ShmPayload(
+            **arena.export_bundle(
+                {
+                    "indptr": csr.indptr,
+                    "indices": csr.indices,
+                    "assignment": ipart.assignment,
+                    "parts_flat": parts_flat,
+                    "parts_offsets": parts_offsets,
+                    "border_u": border_u,
+                    "border_v": border_v,
+                    "position": position,
+                }
+            )
+        )
+        items = [(payload, rank, strict_order) for rank in range(ipart.n_parts)]
+        outputs = parallel_map(_rank_task_shm, items, backend="process", processes=processes)
+    return [
+        (
+            list(zip(local[:, 0].tolist(), local[:, 1].tolist())),
+            list(zip(admitted[:, 0].tolist(), admitted[:, 1].tolist())),
+            work,
+        )
+        for local, admitted, work in outputs
+    ]
 
 
 def resolve_index_partition(
@@ -258,7 +532,7 @@ def parallel_chordal_nocomm_filter(
     partition: Optional[Partition] = None,
     strict_order: bool = False,
     repair_cycles: bool = False,
-    backend: str = "serial",
+    backend: Optional[str] = None,
     processes: Optional[int] = None,
 ) -> FilterResult:
     """Run the communication-free parallel chordal filter.
@@ -280,38 +554,54 @@ def parallel_chordal_nocomm_filter(
         (deletes admitted border edges until no fundamental cycle among them
         survives), as discussed in Section III.A.
     backend:
-        ``"serial"`` (default) or ``"process"`` — the ranks are independent, so
-        they can run through :func:`repro.parallel.parallel_map` on real
-        processes when available (rank payloads are CSR arrays, not graphs).
+        One of :func:`repro.parallel.runner.available_backends`; ``None``
+        (the default) selects this filter's own default, ``"serial"``.  The
+        ranks are independent, so ``"process"`` fans them out over
+        :func:`repro.parallel.parallel_map` with pickled CSR-array payloads,
+        while ``"process-shm"`` exports the graph's buffers to a
+        shared-memory arena once and ships each rank only segment names plus
+        its slice bounds (each rank derives its own subgraph from the shared
+        views).  All backends produce the identical kept edge set in the
+        identical admission order.
     """
     if n_partitions < 1:
         raise ValueError(f"n_partitions must be >= 1, got {n_partitions}")
+    backend = backend or "serial"
+    if backend not in available_backends():
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {available_backends()}"
+        )
     start = time.perf_counter()
     csr = CSRGraph.from_graph(graph)
     perm, ordering_name = resolve_order_indices(csr, ordering, explicit_order)
     ipart = resolve_index_partition(csr, n_partitions, partition_method, partition, perm)
     position = priority_from_permutation(perm, csr.n_vertices)
 
-    items = []
-    assignment = ipart.assignment
-    for rank in range(ipart.n_parts):
-        part_idx = ipart.part_indices(rank)
-        sub = csr.induced_subgraph(part_idx)
-        bu, bv = ipart.border_edges_of(rank)
-        items.append(
-            (
-                sub.indptr,
-                sub.indices,
-                part_idx,
-                bu,
-                bv,
-                assignment[bu] == rank,
-                assignment[bv] == rank,
-                None if position is None else position[part_idx],
-                strict_order,
+    if backend == "process-shm":
+        rank_outputs = _run_ranks_shm(csr, ipart, position, strict_order, processes)
+    else:
+        items = []
+        assignment = ipart.assignment
+        for rank in range(ipart.n_parts):
+            part_idx = ipart.part_indices(rank)
+            sub = csr.induced_subgraph(part_idx)
+            bu, bv = ipart.border_edges_of(rank)
+            items.append(
+                (
+                    sub.indptr,
+                    sub.indices,
+                    part_idx,
+                    bu,
+                    bv,
+                    assignment[bu] == rank,
+                    assignment[bv] == rank,
+                    None if position is None else position[part_idx],
+                    strict_order,
+                )
             )
+        rank_outputs = parallel_map(
+            _rank_task_indices, items, backend=backend, processes=processes
         )
-    rank_outputs = parallel_map(_rank_task_indices, items, backend=backend, processes=processes)
 
     all_local: list[IndexEdge] = []
     works: list[RankWork] = []

@@ -60,9 +60,9 @@ def _dispatch_chordal_comm(
 ) -> FilterResult:
     kwargs.pop("seed", None)
     kwargs.pop("repair_cycles", None)
-    kwargs.pop("backend", None)
     if n_partitions <= 1:
         kwargs.pop("partition_method", None)
+        kwargs.pop("backend", None)
         return sequential_chordal_filter(
             graph, ordering=ordering, explicit_order=explicit_order, **kwargs
         )

@@ -147,7 +147,10 @@ def sequential_chordal_filter(
         n_partitions=1,
         rank_work=[work],
         wall_time=wall,
-        extra={"strict_order": strict_order},
+        # ``backend`` keeps the execution-layer metadata uniform across the
+        # sampler family: the sequential filter is by definition one serial
+        # rank (see the backend matrix in docs/ARCHITECTURE.md).
+        extra={"strict_order": strict_order, "backend": "serial"},
     )
     result.compute_simulated_time(with_communication=False)
     return result

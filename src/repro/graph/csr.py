@@ -173,6 +173,67 @@ class CSRGraph:
         np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
         return cls(indptr, dst, labels)
 
+    def export_buffers(self) -> tuple[np.ndarray, np.ndarray]:
+        """The raw CSR buffers ``(indptr, indices)`` — zero-copy, read-only.
+
+        These are the exact arrays the graph is built on (no copy), suitable
+        for placement into shared memory (:class:`repro.parallel.shm.SharedArena`)
+        and reconstruction with :meth:`from_buffers`.
+        """
+        return self.indptr, self.indices
+
+    @classmethod
+    def from_buffers(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        labels: Optional[Sequence[Vertex]] = None,
+    ) -> "CSRGraph":
+        """Rebuild a graph around existing CSR buffers **without copying them**.
+
+        This is the attach-side counterpart of :meth:`export_buffers`: the
+        result's ``indptr``/``indices`` are views pinned to the given arrays
+        (``np.shares_memory`` holds), so a worker that maps a shared-memory
+        segment pays zero copies.  Only O(1) shape/dtype consistency is
+        checked — the buffers are trusted to describe a valid symmetric CSR
+        (they came out of a validated graph); hand-built arrays should go
+        through the validating constructor instead.  ``labels`` defaults to
+        ``range(n)``, the index-native identity labelling.
+        """
+        indptr = np.asarray(indptr)
+        indices = np.asarray(indices)
+        if (
+            indptr.ndim != 1
+            or indices.ndim != 1
+            or indptr.dtype != np.int64
+            or indices.dtype != np.int64
+            or not indptr.flags.c_contiguous
+            or not indices.flags.c_contiguous
+        ):
+            # Non-conforming buffers take the validating (copying) path.
+            n = max(int(indptr.shape[0]) - 1, 0)
+            return cls(indptr, indices, tuple(labels) if labels is not None else range(n))
+        if indptr.shape[0] < 1 or int(indptr[0]) != 0 or int(indptr[-1]) != indices.shape[0]:
+            raise ValueError("indptr must start at 0 and end at len(indices)")
+        n = int(indptr.shape[0]) - 1
+        label_tuple = tuple(range(n)) if labels is None else tuple(labels)
+        if len(label_tuple) != n:
+            raise ValueError(f"labels must have length n = {n}, got {len(label_tuple)}")
+        ip = indptr.view()
+        ip.setflags(write=False)
+        ix = indices.view()
+        ix.setflags(write=False)
+        csr = object.__new__(cls)
+        object.__setattr__(csr, "indptr", ip)
+        object.__setattr__(csr, "indices", ix)
+        object.__setattr__(csr, "labels", label_tuple)
+        object.__setattr__(csr, "_label_index", None)
+        object.__setattr__(csr, "_packed", None)
+        object.__setattr__(csr, "_rows", None)
+        object.__setattr__(csr, "_row_sets", None)
+        object.__setattr__(csr, "_edge_arr", None)
+        return csr
+
     def to_graph(self) -> Graph:
         """Convert back to a :class:`Graph`.
 

@@ -1,13 +1,15 @@
-"""Parallel runtime substrate: simulated MPI communicator, SPMD runner, cost model.
+"""Parallel runtime substrate: communicators, SPMD runner, shared memory, cost model.
 
 The paper's algorithms were written for a distributed-memory MPI machine.
-This package substitutes an in-process equivalent (see DESIGN.md §2): the
-algorithms exchange the same messages over :class:`SimComm`, rank work is
-measured exactly, and :class:`CostModel` converts that work into simulated
-wall-clock times for the scalability study.
+This package substitutes an offline equivalent: the algorithms exchange the
+same messages over :class:`SimComm` (threads) or :class:`ProcComm` (real
+processes over pipes), graph buffers are shared zero-copy between rank
+processes through a :class:`SharedArena`, rank work is measured exactly, and
+:class:`CostModel` converts that work into simulated wall-clock times for
+the scalability study.
 """
 
-from .comm import ANY_SOURCE, ANY_TAG, CommStats, SimComm, SimCommWorld
+from .comm import ANY_SOURCE, ANY_TAG, CommStats, ProcComm, SimComm, SimCommWorld
 from .rng import derive_seed, rank_rng, rank_rngs
 from .runner import (
     RankResult,
@@ -16,12 +18,24 @@ from .runner import (
     parallel_map,
     run_spmd,
     shutdown_worker_pool,
+    worker_pool_size,
+)
+from .shm import (
+    ArenaError,
+    ArenaRef,
+    SharedArena,
+    arena_scope,
+    attach,
+    export_payload,
+    get_active_arena,
+    resolve_payload,
 )
 from .timing import CostModel, RankWork, efficiency, simulate_execution_time, speedup
 
 __all__ = [
     "SimComm",
     "SimCommWorld",
+    "ProcComm",
     "CommStats",
     "ANY_SOURCE",
     "ANY_TAG",
@@ -29,6 +43,15 @@ __all__ = [
     "parallel_map",
     "available_backends",
     "shutdown_worker_pool",
+    "worker_pool_size",
+    "SharedArena",
+    "ArenaRef",
+    "ArenaError",
+    "arena_scope",
+    "get_active_arena",
+    "attach",
+    "resolve_payload",
+    "export_payload",
     "RankResult",
     "SpmdReport",
     "CostModel",

@@ -1,18 +1,26 @@
-"""An in-process, MPI-like message-passing communicator.
+"""MPI-like message-passing communicators (threaded and process-backed).
 
 The paper's experiments ran on the Firefly cluster with a distributed-memory
 MPI implementation.  That substrate is unavailable offline, so this module
-provides :class:`SimCommWorld` / :class:`SimComm`: a faithful *functional*
-replacement that executes one Python thread per rank and exchanges messages
-through per-rank mailboxes with MPI-style ``(source, tag)`` matching.  The
-point-to-point and collective semantics mirror the mpi4py lower-case API
-(pickle-able Python objects, blocking ``send``/``recv``, ``bcast``,
-``gather``, ``allgather``, ``barrier``, ``reduce``), which is what the
-with-communication chordal sampler needs.
+provides faithful *functional* replacements with MPI-style ``(source, tag)``
+matching and mpi4py lower-case semantics (pickle-able Python objects,
+blocking ``send``/``recv``, ``bcast``, ``gather``, ``allgather``,
+``barrier``, ``reduce``) — what the with-communication chordal sampler needs:
 
-Every communicator records how many messages and how many payload items it
-sent; the scalability cost model consumes those counters to reproduce the
-shape of the paper's Figure 10 without real network hardware.
+:class:`SimCommWorld` / :class:`SimComm`
+    one Python thread per rank, messages through in-process per-rank
+    mailboxes (``queue.Queue``) — zero start-up cost, GIL-bound compute;
+:class:`ProcComm`
+    the same endpoint API over real OS processes: per-rank
+    ``multiprocessing`` queues (pipes under the hood) and a shared process
+    barrier, so communicating rank functions execute on real cores.  Built
+    by the ``process`` backend of :func:`repro.parallel.runner.run_spmd`.
+
+Both share the matching/collective implementation (:class:`_MessagingComm`);
+only the transport primitives differ.  Every communicator records how many
+messages and how many payload items it sent; the scalability cost model
+consumes those counters to reproduce the shape of the paper's Figure 10
+without real network hardware.
 """
 
 from __future__ import annotations
@@ -20,9 +28,9 @@ from __future__ import annotations
 import queue
 import threading
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Sequence
 
-__all__ = ["CommStats", "SimCommWorld", "SimComm", "ANY_SOURCE", "ANY_TAG"]
+__all__ = ["CommStats", "SimCommWorld", "SimComm", "ProcComm", "ANY_SOURCE", "ANY_TAG"]
 
 #: Wildcard source rank for :meth:`SimComm.recv`.
 ANY_SOURCE = -1
@@ -106,27 +114,47 @@ class SimCommWorld:
         return total
 
 
-class SimComm:
-    """The per-rank endpoint of a :class:`SimCommWorld`.
+class _MessagingComm:
+    """Shared matching + collective machinery of the rank endpoints.
 
-    The API mimics mpi4py's pickle-based methods; see the module docstring.
+    Subclasses supply the transport: :meth:`_put` (deliver a message to a
+    destination rank), :meth:`_get` (pull the next message addressed to this
+    rank, blocking up to a timeout), :meth:`_get_nowait`, :meth:`_pending`
+    (this rank's out-of-order buffer) and :meth:`_barrier_wait`.  Everything
+    above those five primitives — ``(source, tag)`` matching, statistics,
+    broadcast/gather/reduce/scatter — is identical across the threaded and
+    the process-backed communicator.
     """
 
     #: Default timeout (seconds) for blocking receives; generous but finite so a
     #: protocol bug surfaces as an error instead of a hung test-suite.
     RECV_TIMEOUT = 60.0
 
-    def __init__(self, rank: int, world: SimCommWorld) -> None:
-        self.rank = rank
-        self.world = world
+    rank: int
 
     @property
-    def size(self) -> int:
-        return self.world.size
+    def size(self) -> int:  # pragma: no cover - overridden
+        raise NotImplementedError
 
     @property
-    def stats(self) -> CommStats:
-        return self.world.stats[self.rank]
+    def stats(self) -> CommStats:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    # -- transport primitives (subclass responsibility) -----------------
+    def _put(self, dest: int, msg: _Message) -> None:
+        raise NotImplementedError
+
+    def _get(self, timeout: float) -> _Message:
+        raise NotImplementedError
+
+    def _get_nowait(self) -> _Message:
+        raise NotImplementedError
+
+    def _pending(self) -> list[_Message]:
+        raise NotImplementedError
+
+    def _barrier_wait(self) -> None:
+        raise NotImplementedError
 
     # ------------------------------------------------------------------
     # point-to-point
@@ -137,7 +165,7 @@ class SimComm:
             raise ValueError(f"destination rank {dest} out of range")
         self.stats.messages_sent += 1
         self.stats.items_sent += _payload_items(obj)
-        self.world._mailboxes[dest].put(_Message(self.rank, tag, obj))
+        self._put(dest, _Message(self.rank, tag, obj))
 
     # mpi4py-compatible alias: buffered sends make isend identical to send here.
     isend = send
@@ -155,13 +183,13 @@ class SimComm:
                 tag == ANY_TAG or msg.tag == tag
             )
 
-        pending = self.world._unmatched[self.rank]
+        pending = self._pending()
         for i, msg in enumerate(pending):
             if matches(msg):
                 return pending.pop(i)
         while True:
             try:
-                msg = self.world._mailboxes[self.rank].get(timeout=self.RECV_TIMEOUT)
+                msg = self._get(timeout=self.RECV_TIMEOUT)
             except queue.Empty:
                 raise TimeoutError(
                     f"rank {self.rank}: no message matching source={source} tag={tag} "
@@ -178,13 +206,13 @@ class SimComm:
                 tag == ANY_TAG or msg.tag == tag
             )
 
-        pending = self.world._unmatched[self.rank]
+        pending = self._pending()
         if any(matches(m) for m in pending):
             return True
         # Drain the queue into the unmatched buffer without blocking.
         while True:
             try:
-                msg = self.world._mailboxes[self.rank].get_nowait()
+                msg = self._get_nowait()
             except queue.Empty:
                 break
             pending.append(msg)
@@ -196,7 +224,7 @@ class SimComm:
     def barrier(self) -> None:
         """Block until every rank reaches the barrier."""
         self.stats.barriers += 1
-        self.world._barrier.wait()
+        self._barrier_wait()
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         """Broadcast ``obj`` from ``root`` to every rank; returns the object everywhere."""
@@ -255,6 +283,106 @@ class SimComm:
                     self.send(objs[dest], dest, tag=_SCATTER_TAG)
             return objs[root]
         return self.recv(source=root, tag=_SCATTER_TAG)
+
+
+class SimComm(_MessagingComm):
+    """The per-rank endpoint of a :class:`SimCommWorld` (threaded backend).
+
+    The API mimics mpi4py's pickle-based methods; see the module docstring.
+    State (mailboxes, unmatched buffers, statistics, barrier) lives in the
+    world, so endpoints are cheap throwaway handles.
+    """
+
+    def __init__(self, rank: int, world: SimCommWorld) -> None:
+        self.rank = rank
+        self.world = world
+
+    @property
+    def size(self) -> int:
+        return self.world.size
+
+    @property
+    def stats(self) -> CommStats:
+        return self.world.stats[self.rank]
+
+    def _put(self, dest: int, msg: _Message) -> None:
+        self.world._mailboxes[dest].put(msg)
+
+    def _get(self, timeout: float) -> _Message:
+        return self.world._mailboxes[self.rank].get(timeout=timeout)
+
+    def _get_nowait(self) -> _Message:
+        return self.world._mailboxes[self.rank].get_nowait()
+
+    def _pending(self) -> list[_Message]:
+        return self.world._unmatched[self.rank]
+
+    def _barrier_wait(self) -> None:
+        self.world._barrier.wait()
+
+
+class ProcComm(_MessagingComm):
+    """A rank endpoint whose transport is real ``multiprocessing`` queues.
+
+    One instance lives in each rank *process* of the ``process`` SPMD
+    backend: ``queues[r]`` is rank ``r``'s incoming mailbox (every rank holds
+    endpoints for all mailboxes so it can send to any destination), and
+    ``barrier`` is a shared :class:`multiprocessing.Barrier`.  Message
+    payloads cross the pipe pickled, exactly like mpi4py's lower-case API;
+    large arrays should travel as :class:`repro.parallel.shm.ArenaRef`
+    handles instead of payload bytes.  Statistics are counted locally and
+    shipped back with the rank's result.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        queues: Sequence[Any],
+        barrier: Any,
+    ) -> None:
+        if not 0 <= rank < size:
+            raise ValueError(f"rank {rank} out of range for size {size}")
+        if len(queues) != size:
+            raise ValueError("one queue per rank is required")
+        self.rank = rank
+        self._size = size
+        self._queues = list(queues)
+        self._barrier = barrier
+        self._stats = CommStats()
+        self._unmatched: list[_Message] = []
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def stats(self) -> CommStats:
+        return self._stats
+
+    def _put(self, dest: int, msg: _Message) -> None:
+        self._queues[dest].put(msg)
+
+    def _get(self, timeout: float) -> _Message:
+        return self._queues[self.rank].get(timeout=timeout)
+
+    def _get_nowait(self) -> _Message:
+        return self._queues[self.rank].get_nowait()
+
+    def _pending(self) -> list[_Message]:
+        return self._unmatched
+
+    def _barrier_wait(self) -> None:
+        # Bounded like recv: if a peer process dies before reaching the
+        # barrier, every waiter gets a broken barrier instead of blocking
+        # forever, and the error surfaces as this rank's failure.
+        try:
+            self._barrier.wait(timeout=self.RECV_TIMEOUT)
+        except threading.BrokenBarrierError:
+            raise TimeoutError(
+                f"rank {self.rank}: barrier not reached by every rank within "
+                f"{self.RECV_TIMEOUT}s — a peer likely died or deadlocked"
+            ) from None
 
 
 _BCAST_TAG = -101

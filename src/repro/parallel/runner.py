@@ -1,37 +1,54 @@
-"""SPMD execution of rank functions over the simulated communicator.
+"""SPMD execution of rank functions — threaded, serial, or on real processes.
 
 ``run_spmd`` plays the role of ``mpiexec``: it launches one logical rank per
-partition, hands each a :class:`~repro.parallel.comm.SimComm` endpoint and
-collects the per-rank return values.  Two backends are available:
+partition, hands each a communicator endpoint and collects the per-rank
+return values.  The backends (see :func:`available_backends`, the single
+source of truth shared with :func:`parallel_map`):
 
-``thread``
-    one Python thread per rank — required by algorithms that exchange
-    messages (blocking receives need the peer rank to be live concurrently);
 ``serial``
     ranks executed one after another in rank order — only valid for
     communication-free algorithms, but with zero threading overhead and fully
     deterministic scheduling; the communication-free chordal sampler and the
     random-walk sampler use it by default.
+``thread``
+    one Python thread per rank with a :class:`~repro.parallel.comm.SimComm`
+    endpoint — supports messaging (blocking receives need the peer rank to
+    be live concurrently) but compute stays GIL-bound;
+``process``
+    one OS process per rank with a :class:`~repro.parallel.comm.ProcComm`
+    endpoint — messages travel over ``multiprocessing`` queues (pipes), so
+    communicating rank functions finally execute on real cores.  Rank
+    payloads and results are pickled;
+``process-shm``
+    the ``process`` transport with rank payloads routed through a
+    :class:`~repro.parallel.shm.SharedArena`: every numpy array in
+    ``rank_args`` is exported to shared memory once and replaced by an
+    :class:`~repro.parallel.shm.ArenaRef`, which the rank process resolves
+    back into a zero-copy read-only view.
 
-``parallel_map`` additionally offers a ``process`` backend built on
-``multiprocessing`` for embarrassingly parallel work items (no communicator),
-which is how the communication-free algorithms can exploit real cores when
-they are available.  The ``process`` backend keeps one shared ``spawn`` pool
-alive across calls (spawning a pool per call used to dominate small runs);
-the pool is resized lazily, torn down by :func:`shutdown_worker_pool` (the
-batch engine calls it at the end of every batch / worker group) and cleaned
-up at interpreter exit.
+``parallel_map`` offers the same backend names for embarrassingly parallel
+work items (no communicator).  Its ``process``/``process-shm`` backends keep
+one shared ``spawn`` pool alive across calls (spawning a pool per call used
+to dominate small runs); the pool is created at the first caller's actual
+need and grown **in place** when a larger request arrives — warm
+interpreters are never discarded — torn down by
+:func:`shutdown_worker_pool` (the batch engine calls it at the end of every
+batch / worker group) and cleaned up at interpreter exit.
 """
 
 from __future__ import annotations
 
 import atexit
 import multiprocessing
+import queue
 import threading
+import traceback
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
 
-from .comm import CommStats, SimComm, SimCommWorld
+from .comm import CommStats, ProcComm, SimCommWorld
+from .shm import export_payload, owned_arena, resolve_payload
 
 __all__ = [
     "RankResult",
@@ -40,9 +57,18 @@ __all__ = [
     "parallel_map",
     "available_backends",
     "shutdown_worker_pool",
+    "worker_pool_size",
 ]
 
 RankFn = Callable[..., Any]
+
+#: How long the parent keeps draining the result queue after every rank
+#: process has exited, before declaring the missing results lost.  There is
+#: deliberately *no* cap on healthy compute time: a rank that is alive is
+#: allowed to run as long as it needs (exactly like the thread backend),
+#: and protocol deadlocks surface as errors from the communicator's own
+#: ``RECV_TIMEOUT`` inside the rank.
+SPMD_DRAIN_TIMEOUT = 10.0
 
 
 @dataclass
@@ -75,8 +101,124 @@ class SpmdReport:
 
 
 def available_backends() -> list[str]:
-    """Names of the SPMD backends accepted by :func:`run_spmd`."""
-    return ["thread", "serial"]
+    """Names of the execution backends accepted by :func:`run_spmd` and
+    :func:`parallel_map` — the single source of truth for both."""
+    return ["serial", "thread", "process", "process-shm"]
+
+
+def _spmd_process_child(
+    rank: int,
+    n_ranks: int,
+    queues: list[Any],
+    barrier: Any,
+    result_queue: Any,
+    fn: RankFn,
+    extra: tuple[Any, ...],
+    args: tuple[Any, ...],
+    kwargs: dict[str, Any],
+) -> None:
+    """Body of one SPMD rank process: build the comm, run ``fn``, report back."""
+    comm = ProcComm(rank, n_ranks, queues, barrier)
+    try:
+        value = fn(comm, *resolve_payload(extra), *args, **kwargs)
+    except BaseException as exc:  # noqa: BLE001 — shipped to the parent
+        result_queue.put(("error", rank, f"{type(exc).__name__}: {exc}", traceback.format_exc()))
+        return
+    result_queue.put(("ok", rank, value, comm.stats))
+
+
+def _run_spmd_processes(
+    fn: RankFn,
+    n_ranks: int,
+    args: tuple[Any, ...],
+    kwargs: dict[str, Any],
+    rank_args: Optional[Sequence[Sequence[Any]]],
+    use_shm: bool,
+) -> tuple[list[Any], list[CommStats]]:
+    """Execute the ranks on real processes; returns (values, stats) by rank."""
+    payloads: list[tuple[Any, ...]] = [
+        tuple(rank_args[r]) if rank_args is not None else () for r in range(n_ranks)
+    ]
+    if use_shm:
+        with owned_arena() as arena:
+            payloads = [export_payload(p, arena) for p in payloads]
+            return _spawn_and_collect(fn, n_ranks, args, kwargs, payloads)
+    return _spawn_and_collect(fn, n_ranks, args, kwargs, payloads)
+
+
+def _spawn_and_collect(
+    fn: RankFn,
+    n_ranks: int,
+    args: tuple[Any, ...],
+    kwargs: dict[str, Any],
+    payloads: list[tuple[Any, ...]],
+) -> tuple[list[Any], list[CommStats]]:
+    """Spawn one process per rank and collect (values, stats) in rank order.
+
+    A rank may compute for as long as it stays alive — the failure modes
+    detected here are a rank *error* (re-raised with the child traceback)
+    and rank *death* without a result; protocol deadlocks are converted
+    into errors inside the rank by the communicator's ``RECV_TIMEOUT``.
+    """
+    ctx = multiprocessing.get_context("spawn")
+    queues = [ctx.Queue() for _ in range(n_ranks)]
+    result_queue = ctx.Queue()
+    barrier = ctx.Barrier(n_ranks)
+    procs = [
+        ctx.Process(
+            target=_spmd_process_child,
+            args=(r, n_ranks, queues, barrier, result_queue, fn, payloads[r], args, kwargs),
+            name=f"spmd-rank-{r}",
+            daemon=True,
+        )
+        for r in range(n_ranks)
+    ]
+    for p in procs:
+        p.start()
+    values: list[Any] = [None] * n_ranks
+    stats: list[CommStats] = [CommStats() for _ in range(n_ranks)]
+    reported = [False] * n_ranks
+    try:
+        collected = 0
+        while collected < n_ranks:
+            try:
+                item = result_queue.get(timeout=1.0)
+            except queue.Empty:
+                # A live rank may compute for as long as it needs.  The
+                # failure signal is a rank that *exited without reporting*
+                # (OOM-kill, segfault): its normally-exiting peers would
+                # error out via the communicator timeouts, but a peer
+                # blocked in a barrier would not — so detect it here, after
+                # a drain grace for results still in the pipe.
+                dead_unreported = [
+                    r for r, p in enumerate(procs) if not p.is_alive() and not reported[r]
+                ]
+                if not dead_unreported:
+                    continue
+                try:
+                    item = result_queue.get(timeout=SPMD_DRAIN_TIMEOUT)
+                except queue.Empty:
+                    raise RuntimeError(
+                        f"SPMD process backend: rank(s) {dead_unreported} died "
+                        f"without reporting a result"
+                    ) from None
+            if item[0] == "error":
+                _, rank, message, tb = item
+                raise RuntimeError(
+                    f"SPMD rank {rank} failed: {message}\n--- rank traceback ---\n{tb}"
+                )
+            _, rank, value, rank_stats = item
+            values[rank] = value
+            stats[rank] = rank_stats
+            reported[rank] = True
+            collected += 1
+    finally:
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+        for p in procs:
+            p.join(timeout=10.0)
+    return values, stats
 
 
 def run_spmd(
@@ -93,15 +235,22 @@ def run_spmd(
     ----------
     fn:
         The rank function.  Its first positional argument is the rank's
-        :class:`SimComm`; the remaining arguments are ``rank_args[rank]``
-        (if supplied) followed by the shared ``args`` / ``kwargs``.
+        communicator endpoint (:class:`SimComm` on the ``serial``/``thread``
+        backends, :class:`ProcComm` on the process backends); the remaining
+        arguments are ``rank_args[rank]`` (if supplied) followed by the
+        shared ``args`` / ``kwargs``.
     rank_args:
         Optional per-rank positional arguments (length must equal ``n_ranks``),
-        typically the rank's partition data.
+        typically the rank's partition data.  Any
+        :class:`~repro.parallel.shm.ArenaRef` inside is resolved to its array
+        view in the rank process; with ``backend="process-shm"`` plain numpy
+        arrays are additionally exported through a shared arena first.
     backend:
-        ``"thread"`` (default, supports messaging) or ``"serial"`` (ranks run
-        sequentially; any blocking receive on a message that was not already
-        sent raises).
+        One of :func:`available_backends`.  ``"serial"`` runs ranks
+        sequentially (any blocking receive on a message that was not already
+        sent raises); ``"thread"`` (default) supports messaging in-process;
+        ``"process"`` / ``"process-shm"`` run each rank on a real core (``fn``,
+        payloads and results must be picklable).
 
     Returns
     -------
@@ -118,11 +267,19 @@ def run_spmd(
         raise ValueError("rank_args must supply one tuple per rank")
     args = tuple(args or ())
     kwargs = dict(kwargs or {})
+
+    if backend in ("process", "process-shm"):
+        values, stats = _run_spmd_processes(
+            fn, n_ranks, args, kwargs, rank_args, use_shm=(backend == "process-shm")
+        )
+        results = [RankResult(rank=r, value=values[r], stats=stats[r]) for r in range(n_ranks)]
+        return SpmdReport(results=results, n_ranks=n_ranks, backend=backend)
+
     world = SimCommWorld(n_ranks)
 
     def call(rank: int) -> Any:
         comm = world.comm(rank)
-        extra = tuple(rank_args[rank]) if rank_args is not None else ()
+        extra = resolve_payload(tuple(rank_args[rank])) if rank_args is not None else ()
         return fn(comm, *extra, *args, **kwargs)
 
     values: list[Any] = [None] * n_ranks
@@ -155,14 +312,18 @@ def run_spmd(
 
 def _call_star(payload: tuple[Callable[..., Any], tuple[Any, ...]]) -> Any:
     fn, item_args = payload
-    return fn(*item_args)
+    return fn(*resolve_payload(item_args))
 
 
 # One shared worker pool for every ``parallel_map(backend="process")`` call.
 # Spawning a fresh ``spawn`` pool per call costs hundreds of milliseconds of
 # interpreter start-up per worker — more than most rank tasks themselves —
-# so the pool is created lazily, grown when a caller asks for more workers,
-# and reused until :func:`shutdown_worker_pool` (or interpreter exit).
+# so the pool is created lazily at the first caller's actual need and then
+# **grown in place** when a larger request arrives: the extra workers are
+# spawned next to the warm ones instead of paying the old
+# terminate-and-respawn (which discarded every warm interpreter).  The pool
+# never shrinks; :func:`shutdown_worker_pool` (or interpreter exit) tears it
+# down, and the next request spawns a fresh pool.
 _worker_pool: Optional[multiprocessing.pool.Pool] = None
 _worker_pool_size = 0
 _worker_pool_lock = threading.Lock()
@@ -170,15 +331,30 @@ _worker_pool_lock = threading.Lock()
 
 def _get_worker_pool(n_workers: int) -> multiprocessing.pool.Pool:
     global _worker_pool, _worker_pool_size
+    n_workers = max(n_workers, 1)
     with _worker_pool_lock:
-        if _worker_pool is not None and _worker_pool_size < n_workers:
-            _worker_pool.terminate()
-            _worker_pool.join()
-            _worker_pool = None
         if _worker_pool is None:
             _worker_pool = multiprocessing.get_context("spawn").Pool(n_workers)
             _worker_pool_size = n_workers
+        elif n_workers > _worker_pool_size:
+            try:
+                # Grow in place: Pool's maintenance thread tops the worker
+                # list up to ``_processes`` (the documented-by-implementation
+                # repopulation mechanism of CPython 3.10–3.12).
+                _worker_pool._processes = n_workers
+                _worker_pool._repopulate_pool()
+                _worker_pool_size = n_workers
+            except AttributeError:  # pragma: no cover - future-python fallback
+                # Unknown Pool internals: keep the warm pool and let the
+                # extra tasks queue rather than discard live interpreters.
+                pass
         return _worker_pool
+
+
+def worker_pool_size() -> int:
+    """Current size of the shared process pool (0 when none is alive)."""
+    with _worker_pool_lock:
+        return _worker_pool_size if _worker_pool is not None else 0
 
 
 def shutdown_worker_pool() -> None:
@@ -187,6 +363,7 @@ def shutdown_worker_pool() -> None:
     Callers that fan out many ``parallel_map`` runs (the batch engine) invoke
     this once at the end of the batch; it is also registered with
     :mod:`atexit` so an interactive session never leaks worker processes.
+    Idempotent: repeated calls (and calls racing the atexit hook) are safe.
     """
     global _worker_pool, _worker_pool_size
     with _worker_pool_lock:
@@ -206,18 +383,66 @@ def parallel_map(
     backend: str = "serial",
     processes: Optional[int] = None,
 ) -> list[Any]:
-    """Apply ``fn(*item)`` to every item, optionally with a multiprocessing pool.
+    """Apply ``fn(*item)`` to every item, optionally in parallel.
 
-    ``backend='serial'`` runs in-process (deterministic, zero overhead);
-    ``backend='process'`` uses the shared :mod:`multiprocessing` pool with
-    ``processes`` workers — ``fn`` and the items must then be picklable.  The
-    pool persists across calls (see :func:`shutdown_worker_pool`).  The
-    result order always matches the input order.
+    Backends (one of :func:`available_backends`):
+
+    * ``'serial'`` — in-process loop (deterministic, zero overhead);
+    * ``'thread'`` — a thread per in-flight item (GIL-bound; useful when the
+      items block on I/O or release the GIL);
+    * ``'process'`` — the shared :mod:`multiprocessing` pool; ``fn`` and the
+      items must be picklable.  An explicit ``processes`` bounds how many
+      items are in flight at once (items are submitted in waves of that
+      size); the persistent pool itself starts at the first call's need and
+      grows in place for larger requests, reused by every later call (see
+      :func:`shutdown_worker_pool`);
+    * ``'process-shm'`` — the shared pool with every numpy array in the items
+      routed through a :class:`~repro.parallel.shm.SharedArena` (the ambient
+      one from :func:`~repro.parallel.shm.arena_scope` when present, else a
+      private arena unlinked after the call), so workers attach zero-copy
+      views instead of unpickling array bytes.
+
+    On every backend, :class:`~repro.parallel.shm.ArenaRef` values inside the
+    items are resolved to their arrays before ``fn`` runs.  The result order
+    always matches the input order.
     """
     payloads = [(fn, tuple(item)) for item in items]
     if backend == "serial":
         return [_call_star(p) for p in payloads]
-    if backend == "process":
+    if backend == "thread":
+        if not payloads:
+            return []
+        n_threads = processes or min(len(payloads), 32)
+        with ThreadPoolExecutor(max_workers=max(1, n_threads)) as pool:
+            return list(pool.map(_call_star, payloads))
+    if backend in ("process", "process-shm"):
+        if not payloads:
+            return []
         n_workers = processes or min(len(items), multiprocessing.cpu_count()) or 1
-        return _get_worker_pool(n_workers).map(_call_star, payloads)
-    raise ValueError(f"unknown backend {backend!r}; expected 'serial' or 'process'")
+        if backend == "process":
+            return _pool_map(payloads, processes, n_workers)
+        with owned_arena() as arena:
+            payloads = [(fn, export_payload(item_args, arena)) for fn, item_args in payloads]
+            return _pool_map(payloads, processes, n_workers)
+    raise ValueError(f"unknown backend {backend!r}; expected one of {available_backends()}")
+
+
+def _pool_map(
+    payloads: list[tuple[Callable[..., Any], tuple[Any, ...]]],
+    processes: Optional[int],
+    n_workers: int,
+) -> list[Any]:
+    """Map over the shared pool, honouring an explicit concurrency bound.
+
+    When the caller asked for ``processes`` workers, items are submitted in
+    waves of that size so at most ``processes`` tasks execute at once —
+    callers use the bound to cap resident memory (one sliced subgraph per
+    in-flight rank), so it must hold even though the warm pool is larger.
+    """
+    pool = _get_worker_pool(n_workers)
+    if processes is None or processes >= len(payloads):
+        return pool.map(_call_star, payloads)
+    results: list[Any] = []
+    for start in range(0, len(payloads), processes):
+        results.extend(pool.map(_call_star, payloads[start : start + processes]))
+    return results

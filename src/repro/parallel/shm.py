@@ -1,0 +1,468 @@
+"""Zero-copy shared-memory execution arena.
+
+The ``process`` execution backend used to ship every rank's CSR sub-arrays by
+pickling them through the ``spawn`` pool: the parent sliced one subgraph per
+rank, serialized the arrays into a pipe, and the worker deserialized its own
+private copy — so the index-native kernels spent their time waiting on
+serialization instead of computing.  This module provides the zero-copy
+alternative, following the partition-then-share-compact-buffers discipline of
+data-partitioning architectures:
+
+* :class:`SharedArena` exports numpy arrays into named
+  :mod:`multiprocessing.shared_memory` segments **once per graph** (repeated
+  exports of the same array object are deduplicated);
+* an :class:`ArenaRef` is the picklable handle — ``(segment name, dtype,
+  shape)`` — that replaces the array in a rank payload, so what crosses the
+  process boundary is a few dozen bytes of metadata plus slice bounds;
+* workers call :func:`attach` (usually via :func:`resolve_payload`) to map the
+  segment and reconstruct a **read-only** numpy view; attachments are cached
+  per process, so a pool worker that executes many ranks of the same graph
+  maps each segment exactly once.
+
+Lifecycle: the *creator* owns the segments — :meth:`SharedArena.unlink`
+destroys them (idempotent; also registered as an interpreter-exit safety net).
+Attach-side handles are cached in a bounded per-process table and closed on
+eviction; on POSIX the memory itself survives until the last handle closes,
+so unlinking while workers still hold views is safe.  The batch engine scopes
+one arena per scale-group (:func:`arena_scope`): filters running inside the
+group export into the shared arena, and the group tears it down at the end.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import threading
+import weakref
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any, Iterator, Mapping, Optional
+
+import numpy as np
+
+__all__ = [
+    "ArenaError",
+    "ArenaRef",
+    "SharedArena",
+    "attach",
+    "resolve_payload",
+    "export_payload",
+    "get_active_arena",
+    "arena_scope",
+    "owned_arena",
+]
+
+
+class ArenaError(RuntimeError):
+    """Misuse of a :class:`SharedArena` (export after close, attach after unlink, ...)."""
+
+
+def _align(offset: int, boundary: int = 16) -> int:
+    """Round ``offset`` up to the next multiple of ``boundary`` (dtype alignment)."""
+    return (offset + boundary - 1) & ~(boundary - 1)
+
+
+def _content_key(src: np.ndarray) -> tuple[bytes, str, tuple[int, ...]]:
+    """Content-dedup key of a contiguous array: (blake2b digest, dtype, shape)."""
+    return (
+        hashlib.blake2b(src.data, digest_size=16).digest(),
+        src.dtype.str,
+        tuple(src.shape),
+    )
+
+
+@dataclass(frozen=True)
+class ArenaRef:
+    """Picklable handle to one exported array.
+
+    ``name`` is the shared-memory segment name; it is ``None`` for empty
+    arrays, which have no backing segment (POSIX shared memory cannot be
+    zero-sized) and are reconstructed locally by :func:`attach`.  ``offset``
+    locates the array inside its segment — several arrays exported together
+    (:meth:`SharedArena.export_bundle`) share one segment, which costs one
+    ``shm_open`` instead of one per array on both sides.
+    """
+
+    name: Optional[str]
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        n = int(np.prod(self.shape)) if self.shape else 1
+        return n * np.dtype(self.dtype).itemsize
+
+
+class SharedArena:
+    """Owner of a set of shared-memory segments holding exported arrays.
+
+    Create one arena per graph (or per batch scale-group), export the compact
+    buffers once, hand the resulting :class:`ArenaRef` payloads to every rank,
+    and :meth:`unlink` when the group of runs is finished.  Exports are
+    always deduplicated by *array identity* (re-exporting the same object is
+    a dict hit); with ``content_dedup=True`` additionally by *content
+    digest*, so a rebuilt-but-equal array — e.g. the CSR buffers of the same
+    graph reconstructed by the next run of a batch scale-group — reuses the
+    existing segment instead of pinning another copy of the graph in shared
+    memory for the arena's lifetime.  Content dedup costs one hash pass per
+    fresh export, which buys nothing for a private single-call arena, so it
+    is off by default and enabled by :func:`arena_scope` for the long-lived
+    ambient arenas that actually see repeated content.
+    """
+
+    def __init__(self, content_dedup: bool = False) -> None:
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._by_id: dict[int, tuple[weakref.ref, ArenaRef]] = {}
+        self._by_digest: Optional[dict[tuple[bytes, str, tuple[int, ...]], ArenaRef]] = (
+            {} if content_dedup else None
+        )
+        self._lock = threading.Lock()
+        self._closed = False
+        self._unlinked = False
+        _ALL_ARENAS.add(self)
+
+    # ------------------------------------------------------------------
+    # export side (creator process)
+    # ------------------------------------------------------------------
+    def export(self, array: np.ndarray) -> ArenaRef:
+        """Copy ``array`` into a shared segment and return its :class:`ArenaRef`.
+
+        The copy happens exactly once per array object: re-exporting the same
+        object returns the cached ref.  Empty arrays get a segment-less ref.
+        A single-entry :meth:`export_bundle` — one dedup pipeline serves both.
+        """
+        return self.export_bundle({"array": array})["array"]
+
+    def export_many(
+        self, arrays: Mapping[str, Optional[np.ndarray]]
+    ) -> dict[str, Optional[ArenaRef]]:
+        """Export a named set of arrays; ``None`` values pass through as ``None``."""
+        return {k: (None if v is None else self.export(v)) for k, v in arrays.items()}
+
+    def export_bundle(
+        self, arrays: Mapping[str, Optional[np.ndarray]]
+    ) -> dict[str, Optional[ArenaRef]]:
+        """Export a named set of arrays into **one** shared segment.
+
+        The refs share a segment name and differ by (16-byte aligned)
+        offset, so the whole bundle costs one ``shm_open`` on each side —
+        the fast path for a filter's per-graph payload.  Already-exported
+        arrays reuse their cached refs; ``None`` values pass through.
+        """
+        with self._lock:
+            if self._closed or self._unlinked:
+                raise ArenaError("cannot export into a closed/unlinked arena")
+            out: dict[str, Optional[ArenaRef]] = {}
+            fresh: list[tuple[int, np.ndarray, np.ndarray, tuple, list[str]]] = []
+            fresh_keys_by_id: dict[int, list[str]] = {}
+            fresh_keys_by_digest: dict[tuple, list[str]] = {}
+            total = 0
+            for key, value in arrays.items():
+                if value is None:
+                    out[key] = None
+                    continue
+                if not isinstance(value, np.ndarray):
+                    raise TypeError(
+                        f"can only export numpy arrays, got {type(value).__name__} for {key!r}"
+                    )
+                cached = self._by_id.get(id(value))
+                if cached is not None and cached[0]() is value:
+                    out[key] = cached[1]
+                    continue
+                dup = fresh_keys_by_id.get(id(value))
+                if dup is not None:
+                    dup.append(key)
+                    continue
+                src = np.ascontiguousarray(value)
+                if src.nbytes == 0:
+                    ref = ArenaRef(name=None, dtype=src.dtype.str, shape=tuple(src.shape))
+                    self._by_id[id(value)] = (weakref.ref(value), ref)
+                    out[key] = ref
+                    continue
+                digest = None
+                if self._by_digest is not None:
+                    digest = _content_key(src)
+                    hit = self._by_digest.get(digest)
+                    if hit is not None:
+                        self._by_id[id(value)] = (weakref.ref(value), hit)
+                        out[key] = hit
+                        continue
+                    pending = fresh_keys_by_digest.get(digest)
+                    if pending is not None:
+                        pending.append(key)
+                        continue
+                keys = [key]
+                fresh.append((id(value), value, src, digest, keys))
+                fresh_keys_by_id[id(value)] = keys
+                if digest is not None:
+                    fresh_keys_by_digest[digest] = keys
+                total = _align(total) + src.nbytes
+            if not fresh:
+                return out
+            seg = shared_memory.SharedMemory(create=True, size=total)
+            self._segments.append(seg)
+            offset = 0
+            for obj_id, original, src, digest, keys in fresh:
+                offset = _align(offset)
+                dst = np.ndarray(src.shape, dtype=src.dtype, buffer=seg.buf, offset=offset)
+                dst[...] = src
+                ref = ArenaRef(
+                    name=seg.name, dtype=src.dtype.str, shape=tuple(src.shape), offset=offset
+                )
+                self._by_id[obj_id] = (weakref.ref(original), ref)
+                if digest is not None:
+                    self._by_digest[digest] = ref
+                for key in keys:
+                    out[key] = ref
+                offset += src.nbytes
+            return out
+
+    def export_csr(self, csr: "Any") -> dict[str, ArenaRef]:
+        """Export a :class:`~repro.graph.csr.CSRGraph`'s buffers (``indptr``/``indices``)."""
+        indptr, indices = csr.export_buffers()
+        return {"indptr": self.export(indptr), "indices": self.export(indices)}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def n_segments(self) -> int:
+        return len(self._segments)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(seg.size for seg in self._segments)
+
+    def close(self) -> None:
+        """Close this process's handles (idempotent; memory stays until unlink)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for seg in self._segments:
+                try:
+                    seg.close()
+                except (BufferError, OSError):  # pragma: no cover - defensive
+                    pass
+
+    def unlink(self) -> None:
+        """Destroy the segments (idempotent; implies :meth:`close`).
+
+        Attached workers keep their existing views alive — POSIX frees the
+        memory when the last handle closes — but new :func:`attach` calls on
+        refs of this arena raise ``FileNotFoundError``.
+        """
+        self.close()
+        with self._lock:
+            if self._unlinked:
+                return
+            self._unlinked = True
+            names = []
+            for seg in self._segments:
+                names.append(seg.name)
+                try:
+                    seg.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+            self._segments.clear()
+            self._by_id.clear()
+            if self._by_digest is not None:
+                self._by_digest.clear()
+        # Drop this process's cached attachments of the destroyed segments so
+        # an attach-after-unlink fails here exactly like it does in a worker.
+        _evict_attached(names)
+
+    def __enter__(self) -> "SharedArena":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.unlink()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        state = "unlinked" if self._unlinked else ("closed" if self._closed else "open")
+        return f"SharedArena(n_segments={self.n_segments}, bytes={self.total_bytes}, {state})"
+
+
+#: Every arena ever created in this process; unlinked as an interpreter-exit
+#: safety net so no /dev/shm segments outlive an interactive session.
+_ALL_ARENAS: "weakref.WeakSet[SharedArena]" = weakref.WeakSet()
+
+
+def _cleanup_all_arenas() -> None:  # pragma: no cover - exercised at interpreter exit
+    for arena in list(_ALL_ARENAS):
+        try:
+            arena.unlink()
+        except Exception:
+            pass
+
+
+atexit.register(_cleanup_all_arenas)
+
+
+# ----------------------------------------------------------------------
+# attach side (worker processes; also works in-process)
+# ----------------------------------------------------------------------
+#: Per-process cache of attached segment *handles*, keyed by segment name.
+#: Bounded tightly: an unlinked segment's memory survives for as long as any
+#: process still maps it, so a long-lived pool worker that cached every
+#: segment it ever attached would pin the tmpfs pages of long-dead graphs.
+#: A handful of entries is enough — the cache exists so the many ranks of
+#: *one* payload map each segment once.  Array views are rebuilt per
+#: :func:`attach` call on top of the cached mapping — a plain ``np.ndarray``
+#: construction, no syscall.
+_ATTACH_CACHE_SIZE = 8
+_attached: "OrderedDict[str, shared_memory.SharedMemory]" = OrderedDict()
+_attach_lock = threading.Lock()
+
+
+def _close_segment(seg: shared_memory.SharedMemory) -> None:
+    try:
+        seg.close()
+    except (BufferError, OSError):  # a view of it is still referenced somewhere
+        pass
+
+
+def _evict_attached(names: list[str]) -> None:
+    """Close and forget the local attachments of the given segments."""
+    with _attach_lock:
+        for name in names:
+            seg = _attached.pop(name, None)
+            if seg is not None:
+                _close_segment(seg)
+
+
+def _segment(name: str) -> shared_memory.SharedMemory:
+    """Open (or recall) the named segment; evicts the oldest over the cap."""
+    with _attach_lock:
+        seg = _attached.get(name)
+        if seg is not None:
+            _attached.move_to_end(name)
+            return seg
+        seg = shared_memory.SharedMemory(name=name)
+        _attached[name] = seg
+        while len(_attached) > _ATTACH_CACHE_SIZE:
+            _, old = _attached.popitem(last=False)
+            _close_segment(old)
+        return seg
+
+
+def attach(ref: ArenaRef) -> np.ndarray:
+    """Return a read-only numpy view of the array behind ``ref``.
+
+    Raises ``FileNotFoundError`` when the segment has been unlinked.
+    Segment handles are cached per process, so repeated rank tasks over the
+    same graph map each segment once.
+    """
+    if ref.name is None:
+        empty = np.empty(ref.shape, dtype=np.dtype(ref.dtype))
+        empty.setflags(write=False)
+        return empty
+    seg = _segment(ref.name)
+    view = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=seg.buf, offset=ref.offset)
+    view.setflags(write=False)
+    return view
+
+
+def resolve_payload(obj: Any) -> Any:
+    """Recursively replace every :class:`ArenaRef` in ``obj`` with its array view.
+
+    Dicts, lists and tuples are rebuilt (preserving type); everything else
+    passes through untouched.  This is what the process-backend workers run
+    on their arguments before calling the rank function.
+    """
+    if isinstance(obj, ArenaRef):
+        return attach(obj)
+    if isinstance(obj, tuple):
+        return tuple(resolve_payload(v) for v in obj)
+    if isinstance(obj, list):
+        return [resolve_payload(v) for v in obj]
+    if isinstance(obj, dict):
+        return {k: resolve_payload(v) for k, v in obj.items()}
+    return obj
+
+
+def export_payload(obj: Any, arena: SharedArena) -> Any:
+    """Recursively replace every numpy array in ``obj`` with an :class:`ArenaRef`.
+
+    The inverse of :func:`resolve_payload`: what the ``process-shm`` backends
+    run on rank payloads before pickling them, so only refs cross the pipe.
+    """
+    if isinstance(obj, np.ndarray):
+        return arena.export(obj)
+    if isinstance(obj, tuple):
+        return tuple(export_payload(v, arena) for v in obj)
+    if isinstance(obj, list):
+        return [export_payload(v, arena) for v in obj]
+    if isinstance(obj, dict):
+        return {k: export_payload(v, arena) for k, v in obj.items()}
+    return obj
+
+
+# ----------------------------------------------------------------------
+# ambient arena (scoped reuse across runs)
+# ----------------------------------------------------------------------
+class _AmbientStack(threading.local):
+    """Per-thread stack of active arenas.
+
+    Thread-local so two threads running scoped work concurrently (a batch
+    group in one, an ad-hoc filter in another) cannot adopt — and then
+    unlink — each other's arenas.
+    """
+
+    def __init__(self) -> None:
+        self.stack: list[SharedArena] = []
+
+
+_active_arenas = _AmbientStack()
+
+
+def get_active_arena() -> Optional[SharedArena]:
+    """The innermost arena opened by :func:`arena_scope` in this thread."""
+    stack = _active_arenas.stack
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def owned_arena() -> Iterator[SharedArena]:
+    """The ambient arena when one is active, else a private one.
+
+    The shared ownership rule of every ``process-shm`` code path in one
+    place: inside an :func:`arena_scope` the scope's arena is reused (and
+    left alive — the scope owns it); otherwise a fresh arena is created and
+    unlinked when the ``with`` block exits.
+    """
+    active = get_active_arena()
+    if active is not None:
+        yield active
+        return
+    arena = SharedArena()
+    try:
+        yield arena
+    finally:
+        arena.unlink()
+
+
+@contextmanager
+def arena_scope(arena: Optional[SharedArena] = None) -> Iterator[SharedArena]:
+    """Make an arena ambient for the duration of the ``with`` block.
+
+    Filters running with a ``process-shm`` backend export into the ambient
+    arena instead of creating (and tearing down) a private one per call, so a
+    scale-group of batch runs shares segments.  When ``arena`` is ``None`` a
+    fresh one is created and **unlinked on exit**; a caller-supplied arena is
+    left alive (the caller owns its lifecycle).
+    """
+    created = arena is None
+    # A scope's arena lives across many runs, so rebuilt-but-equal payloads
+    # are expected — content dedup pays for itself there.
+    scoped = SharedArena(content_dedup=True) if created else arena
+    _active_arenas.stack.append(scoped)
+    try:
+        yield scoped
+    finally:
+        _active_arenas.stack.pop()
+        if created:
+            scoped.unlink()

@@ -37,6 +37,7 @@ from typing import Any, Callable, Optional, Sequence
 
 from ..parallel.rng import derive_seed
 from ..parallel.runner import shutdown_worker_pool
+from ..parallel.shm import arena_scope
 from . import experiments as exp
 
 __all__ = [
@@ -295,14 +296,21 @@ def _run_group(specs: list["RunSpec"]) -> list[dict[str, Any]]:
 
 
 def _run_group_keep_pool(specs: list["RunSpec"]) -> list[dict[str, Any]]:
-    """Run one group of specs, leaving the shared filter worker pool alive."""
+    """Run one group of specs, leaving the shared filter worker pool alive.
+
+    The group shares one shared-memory arena (:func:`arena_scope`): every
+    filter inside it that runs with a ``process-shm`` backend exports into
+    the group arena instead of creating and unlinking a private one per
+    call, and the segments are destroyed once when the scale-group ends.
+    """
     out: list[dict[str, Any]] = []
-    for spec in specs:
-        try:
-            output, seconds = run_spec(spec)
-            out.append({"hash": spec.spec_hash(), "output": output, "seconds": seconds})
-        except Exception as err:  # noqa: BLE001 — reported per-run, batch continues
-            out.append({"hash": spec.spec_hash(), "error": f"{type(err).__name__}: {err}"})
+    with arena_scope():
+        for spec in specs:
+            try:
+                output, seconds = run_spec(spec)
+                out.append({"hash": spec.spec_hash(), "output": output, "seconds": seconds})
+            except Exception as err:  # noqa: BLE001 — reported per-run, batch continues
+                out.append({"hash": spec.spec_hash(), "error": f"{type(err).__name__}: {err}"})
     return out
 
 

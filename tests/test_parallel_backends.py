@@ -1,0 +1,290 @@
+"""Execution-backend equivalence and lifecycle tests.
+
+The shared-memory execution runtime promises that the choice of backend —
+``serial`` / ``thread`` / ``process`` (pickled payloads) / ``process-shm``
+(zero-copy arena payloads) — never changes a sampler's output: same kept
+edge set, same admission order, same duplicate counts.  This module pins
+that promise:
+
+* the no-communication sampler across **all orderings × all partitioners**
+  on the ``process-shm`` backend against the serial reference (the process
+  grid is cheap here because ranks share one spawn pool);
+* the with-communication sampler across the full grid on ``thread`` vs
+  ``serial``, plus a Latin-square of (ordering, partitioner) cells on the
+  real-process backends — every ordering and every partitioner appears in a
+  process-backed cell, while keeping the interpreter-spawn cost of one world
+  per call bounded;
+* the ``run_spmd`` process backend itself (messaging, collectives via
+  ProcComm, statistics, error propagation);
+* ``parallel_map`` thread / process-shm backends and the vectorised border
+  admission against its scalar reference;
+* worker-pool lifecycle: grow requests reuse the warm pool, shutdown is
+  idempotent, and a fresh pool appears on demand afterwards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parallel_comm import parallel_chordal_comm_filter
+from repro.core.parallel_nocomm import (
+    admit_border_edges_no_communication_arrays,
+    admit_border_edges_no_communication_indices,
+    parallel_chordal_nocomm_filter,
+)
+from repro.graph.generators import correlation_like_graph
+from repro.parallel import runner as runner_mod
+from repro.parallel.shm import arena_scope
+from repro.parallel.runner import (
+    available_backends,
+    parallel_map,
+    run_spmd,
+    shutdown_worker_pool,
+    worker_pool_size,
+)
+
+ORDERINGS = ["natural", "high_degree", "low_degree", "rcm"]
+PARTITIONERS = ["block", "hash", "bfs", "greedy"]
+
+#: Every ordering and every partitioner appears exactly once — the grid for
+#: backends whose per-call cost is a full interpreter spawn per rank.
+LATIN_CELLS = list(zip(ORDERINGS, PARTITIONERS))
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return correlation_like_graph(seed=11, n_modules=3, module_size=7, n_background=90)
+
+
+def _signature(result):
+    """Everything the backends must agree on, order included."""
+    return (
+        sorted(map(repr, result.graph.iter_edges())),
+        result.accepted_border_edges,
+        result.duplicate_border_edges,
+        [w.border_edges for w in result.rank_work],
+    )
+
+
+class TestNocommBackendEquivalence:
+    @pytest.mark.parametrize("ordering", ORDERINGS)
+    @pytest.mark.parametrize("partition_method", PARTITIONERS)
+    def test_process_shm_matches_serial_full_grid(self, graph, ordering, partition_method):
+        ref = parallel_chordal_nocomm_filter(
+            graph, 4, ordering=ordering, partition_method=partition_method, backend="serial"
+        )
+        got = parallel_chordal_nocomm_filter(
+            graph, 4, ordering=ordering, partition_method=partition_method, backend="process-shm"
+        )
+        assert _signature(got) == _signature(ref)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("ordering,partition_method", LATIN_CELLS)
+    def test_other_backends_match_serial(self, graph, backend, ordering, partition_method):
+        ref = parallel_chordal_nocomm_filter(
+            graph, 4, ordering=ordering, partition_method=partition_method, backend="serial"
+        )
+        got = parallel_chordal_nocomm_filter(
+            graph, 4, ordering=ordering, partition_method=partition_method, backend=backend
+        )
+        assert _signature(got) == _signature(ref)
+
+    def test_empty_partitions_process_shm(self, graph):
+        # More partitions than some parts can fill: block partitioning leaves
+        # trailing parts empty on a small subgraph; outputs must still match.
+        small = correlation_like_graph(seed=5, n_modules=1, module_size=4, n_background=3)
+        ref = parallel_chordal_nocomm_filter(small, 9, ordering="natural", backend="serial")
+        got = parallel_chordal_nocomm_filter(small, 9, ordering="natural", backend="process-shm")
+        assert _signature(got) == _signature(ref)
+
+    def test_unknown_backend_rejected(self, graph):
+        with pytest.raises(ValueError, match="process-shm"):
+            parallel_chordal_nocomm_filter(graph, 2, backend="gpu")
+
+    def test_repeat_runs_in_arena_scope_reuse_segments(self, graph):
+        # Steady-state reuse: inside a scope the second run's rebuilt-but-
+        # equal buffers content-dedup onto the first run's segments (no new
+        # exports) and the output stays bit-identical.
+        ref = parallel_chordal_nocomm_filter(graph, 4, ordering="rcm", backend="serial")
+        with arena_scope() as arena:
+            first = parallel_chordal_nocomm_filter(graph, 4, ordering="rcm", backend="process-shm")
+            segments_after_first = arena.n_segments
+            second = parallel_chordal_nocomm_filter(graph, 4, ordering="rcm", backend="process-shm")
+            assert arena.n_segments == segments_after_first
+        assert _signature(first) == _signature(ref)
+        assert _signature(second) == _signature(ref)
+
+    def test_backend_recorded_in_extra(self, graph):
+        result = parallel_chordal_nocomm_filter(graph, 2, backend="thread")
+        assert result.extra["backend"] == "thread"
+
+
+class TestCommBackendEquivalence:
+    @pytest.mark.parametrize("ordering", ORDERINGS)
+    @pytest.mark.parametrize("partition_method", PARTITIONERS)
+    def test_thread_matches_serial_full_grid(self, graph, ordering, partition_method):
+        ref = parallel_chordal_comm_filter(
+            graph, 3, ordering=ordering, partition_method=partition_method, backend="serial"
+        )
+        got = parallel_chordal_comm_filter(
+            graph, 3, ordering=ordering, partition_method=partition_method, backend="thread"
+        )
+        assert _signature(got) == _signature(ref)
+
+    @pytest.mark.parametrize("ordering,partition_method", LATIN_CELLS)
+    def test_process_shm_matches_thread(self, graph, ordering, partition_method):
+        ref = parallel_chordal_comm_filter(
+            graph, 2, ordering=ordering, partition_method=partition_method, backend="thread"
+        )
+        got = parallel_chordal_comm_filter(
+            graph, 2, ordering=ordering, partition_method=partition_method, backend="process-shm"
+        )
+        assert _signature(got) == _signature(ref)
+        assert got.extra["backend"] == "process-shm"
+
+    def test_process_pickled_matches_thread(self, graph):
+        ref = parallel_chordal_comm_filter(graph, 2, ordering="rcm", backend="thread")
+        got = parallel_chordal_comm_filter(graph, 2, ordering="rcm", backend="process")
+        assert _signature(got) == _signature(ref)
+        assert got.extra["backend"] == "process"
+
+    def test_default_backend_unchanged(self, graph):
+        result = parallel_chordal_comm_filter(graph, 2, ordering="natural")
+        assert result.extra["backend"] == "thread"
+        single = parallel_chordal_comm_filter(graph, 1, ordering="natural")
+        assert single.extra["backend"] == "serial"
+
+    def test_unknown_backend_rejected(self, graph):
+        with pytest.raises(ValueError, match="process-shm"):
+            parallel_chordal_comm_filter(graph, 2, backend="gpu")
+
+
+def _ring_rank(comm, offset):
+    """Send rank+offset around a ring and gather everything at every rank."""
+    right = (comm.rank + 1) % comm.size
+    comm.send(comm.rank + offset, dest=right, tag=5)
+    received = comm.recv(source=(comm.rank - 1) % comm.size, tag=5)
+    return comm.allgather(received)
+
+
+def _failing_rank(comm):
+    if comm.rank == 1:
+        raise ValueError("rank 1 exploded")
+    return "ok"
+
+
+def _sum_with_rank(comm, arr):
+    return int(arr.sum()) + comm.rank
+
+
+class TestRunSpmdProcessBackend:
+    def test_ring_messaging_and_collectives(self):
+        report = run_spmd(_ring_rank, 3, args=(100,), backend="process")
+        expected = [102, 100, 101]  # each rank receives its left neighbour's value
+        assert report.values == [expected] * 3
+        assert report.backend == "process"
+        total = report.total_stats()
+        assert total.messages_sent >= 3
+        assert total.collectives >= 3
+
+    def test_error_propagates_with_rank(self):
+        with pytest.raises(RuntimeError, match="SPMD rank 1 failed"):
+            run_spmd(_failing_rank, 2, backend="process")
+
+    def test_rank_args_with_arrays_process_shm(self):
+        rank_args = [(np.arange(4),), (np.arange(4) * 2,)]
+        report = run_spmd(_sum_with_rank, 2, rank_args=rank_args, backend="process-shm")
+        assert report.values == [6, 13]
+
+
+class TestParallelMapBackends:
+    def test_thread_backend_matches_serial(self):
+        items = [(i, i + 1) for i in range(10)]
+        assert parallel_map(lambda a, b: a * b, items, backend="thread") == parallel_map(
+            lambda a, b: a * b, items, backend="serial"
+        )
+
+    def test_process_shm_routes_arrays(self):
+        items = [(np.full(50, i),) for i in range(5)]
+        out = parallel_map(_array_sum, items, backend="process-shm")
+        assert out == [0, 50, 100, 150, 200]
+
+    def test_empty_items(self):
+        for backend in available_backends():
+            assert parallel_map(_array_sum, [], backend=backend) == []
+
+
+def _array_sum(arr):
+    return int(np.asarray(arr).sum())
+
+
+class TestVectorisedAdmission:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_scalar_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 30
+        n_border = 40
+        bu = rng.integers(0, n, n_border).astype(np.int64)
+        bv = rng.integers(0, n, n_border).astype(np.int64)
+        u_internal = rng.random(n_border) < 0.5
+        v_internal = rng.random(n_border) < 0.3
+        n_chordal = 25
+        cu = rng.integers(0, n, n_chordal).astype(np.int64)
+        cv = rng.integers(0, n, n_chordal).astype(np.int64)
+        keep = cu != cv
+        cu, cv = np.minimum(cu, cv)[keep], np.maximum(cu, cv)[keep]
+        packed = np.unique(cu * n + cv)
+        cu, cv = packed // n, packed % n
+        chordal_adj: dict[int, set[int]] = {}
+        for a, b in zip(cu.tolist(), cv.tolist()):
+            chordal_adj.setdefault(a, set()).add(b)
+            chordal_adj.setdefault(b, set()).add(a)
+        ref = admit_border_edges_no_communication_indices(
+            bu, bv, u_internal, v_internal, chordal_adj
+        )
+        got = admit_border_edges_no_communication_arrays(
+            bu, bv, u_internal, v_internal, cu, cv
+        )
+        assert got == ref
+
+    def test_empty_inputs(self):
+        empty = np.empty(0, dtype=np.int64)
+        empty_bool = np.empty(0, dtype=bool)
+        assert (
+            admit_border_edges_no_communication_arrays(
+                empty, empty, empty_bool, empty_bool, empty, empty
+            )
+            == []
+        )
+
+
+class TestWorkerPoolLifecycle:
+    def test_grow_reuses_warm_pool(self):
+        shutdown_worker_pool()
+        first = runner_mod._get_worker_pool(1)
+        assert worker_pool_size() == 1
+        # A bigger request grows the pool IN PLACE — same pool object, no
+        # terminate-and-respawn of the warm interpreters.
+        second = runner_mod._get_worker_pool(3)
+        assert second is first
+        assert worker_pool_size() == 3
+        # A smaller request never shrinks it.
+        assert runner_mod._get_worker_pool(2) is first
+        assert worker_pool_size() == 3
+        # The grown pool still executes work.
+        assert parallel_map(_array_sum, [(np.arange(3),)], backend="process") == [3]
+        shutdown_worker_pool()
+
+    def test_shutdown_is_idempotent_and_pool_respawns(self):
+        runner_mod._get_worker_pool(1)
+        assert worker_pool_size() >= 1
+        shutdown_worker_pool()
+        assert worker_pool_size() == 0
+        shutdown_worker_pool()  # second call is a no-op
+        assert worker_pool_size() == 0
+        # Next request spawns a fresh pool transparently.
+        assert parallel_map(_array_sum, [(np.arange(4),)], backend="process") == [6]
+        assert worker_pool_size() >= 1
+        shutdown_worker_pool()
+        assert worker_pool_size() == 0

@@ -153,7 +153,15 @@ class TestWorldAndErrors:
 
 class TestRunner:
     def test_backends_listed(self):
-        assert set(available_backends()) == {"thread", "serial"}
+        # The single source of truth for run_spmd AND parallel_map; the
+        # process backends joined the list with the shared-memory runtime.
+        assert available_backends() == ["serial", "thread", "process", "process-shm"]
+
+    def test_unknown_backend_errors_name_the_backends(self):
+        with pytest.raises(ValueError, match="process-shm"):
+            run_spmd(lambda c: None, 2, backend="mpi")
+        with pytest.raises(ValueError, match="process-shm"):
+            parallel_map(lambda a: a, [(1,)], backend="cluster")
 
     def test_serial_backend_for_independent_ranks(self):
         report = run_spmd(lambda comm: comm.rank ** 2, 4, backend="serial")
