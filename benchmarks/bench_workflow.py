@@ -9,11 +9,14 @@ stage and writes the measured trajectory to ``BENCH_workflow.json``:
 * ``label`` — the retained seed path: per-pair tile extraction +
   ``Graph.add_edge`` network build, ``reference_mcode_clusters``,
   ``reference_match_clusters``, per-pair early-exit ontology BFS
-  (``GODag.reference_term_distance``) and one enrichment pass per overlap
+  (``GODag.reference_term_distance``), the reference per-edge enrichment
+  scorer (``engine="reference"``) and one enrichment pass per overlap
   criterion;
 * ``csr`` — the index-native path: vectorised tile extraction straight into
-  CSR edge arrays, CSR MCODE, membership-matrix overlap matching, the CSR
-  frontier-BFS distance engine and a shared enrichment pass.
+  CSR edge arrays, CSR MCODE, membership-matrix overlap matching, and the
+  batched enrichment engine (interned term ids, packed-pair memo table,
+  segment reductions — see ``benchmarks/bench_enrichment.py`` for the
+  isolated classify measurement) with one shared pass per filter run.
 
 ``bench_pipeline.py`` times the sampling filter in isolation; this harness
 times everything *around* it, which is where the workflow spent most of its
@@ -199,7 +202,10 @@ def run_label_workflow(study: Any, dag: Any, annotations: Any) -> dict[str, Any]
     found = found_clusters(matches)
     lost = reference_lost_clusters(original, filtered)
     lap("match")
-    scorer = EnrichmentScorer(_SeedDistanceDag(dag), annotations)
+    # engine="reference" keeps the retained per-edge double loop (the seed
+    # enrichment path); the default batched engine would bypass the proxy's
+    # seed distance function entirely.
+    scorer = EnrichmentScorer(_SeedDistanceDag(dag), annotations, engine="reference")
     scored_node = classify_matches(matches, scorer, overlap_attr="node_overlap")
     scored_edge = classify_matches(matches, scorer, overlap_attr="edge_overlap")
     node_counts = quadrant_counts(scored_node)

@@ -176,9 +176,15 @@ def classify_matches(
     with ``matches``) so a second classification pass — the paper evaluates
     node- and edge-overlap criteria over the same matches — reuses the first
     pass's scores instead of re-walking every cluster's edges.
+
+    When no scores are supplied, all matched clusters are scored in **one
+    batched pass** over the scorer's array front-end
+    (:meth:`~repro.ontology.enrichment.EnrichmentScorer.cluster_aees`) —
+    bit-identical to scoring each cluster separately, but resolved against
+    the distinct-term-pair memo table instead of one Python loop per edge.
     """
     if aees is None:
-        aees = [scorer.cluster(m.filtered.subgraph).aees for m in matches]
+        aees = scorer.cluster_aees([m.filtered.subgraph for m in matches])
     elif len(aees) != len(matches):
         raise ValueError("aees must align one-to-one with matches")
     return [

@@ -13,6 +13,7 @@ from .correlation import (
     correlated_pair_arrays,
     correlated_pairs,
     correlation_p_value,
+    correlation_p_values,
     critical_correlation,
     csr_from_pair_arrays,
     network_from_pair_arrays,
@@ -40,6 +41,7 @@ __all__ = [
     "CorrelationThreshold",
     "pearson_correlation_matrix",
     "correlation_p_value",
+    "correlation_p_values",
     "critical_correlation",
     "correlated_pairs",
     "correlated_pair_arrays",

@@ -41,6 +41,12 @@ class ExpressionMatrix:
     samples: list[str]
     conditions: Optional[list[str]] = None
     metadata: dict = field(default_factory=dict)
+    #: Memoised result of :meth:`standardized` (invalidation-free: matrices
+    #: are treated as immutable after construction — every transform returns
+    #: a new instance).  Excluded from comparison/repr.
+    _standardized: Optional["ExpressionMatrix"] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self.values = np.asarray(self.values, dtype=float)
@@ -131,18 +137,37 @@ class ExpressionMatrix:
 
         Genes with zero variance are left at zero (they carry no correlation
         signal and would otherwise produce NaNs).
+
+        The result is memoised on the matrix: every correlation pass starts
+        by standardising (:func:`~repro.expression.correlation.pearson_correlation_matrix`,
+        :func:`~repro.expression.correlation.correlated_pair_arrays`), and a
+        study is correlated repeatedly — both network views, every
+        threshold.  Matrices are treated as immutable after construction, so
+        the cache needs no invalidation; a standardised matrix memoises
+        itself (standardising is idempotent up to the zero-variance rule
+        already applied).
         """
+        cached = self._standardized
+        if cached is not None:
+            return cached
         centered = self.values - self.values.mean(axis=1, keepdims=True)
         std = self.values.std(axis=1, keepdims=True)
         safe = np.where(std > 0, std, 1.0)
         scaled = np.where(std > 0, centered / safe, 0.0)
-        return ExpressionMatrix(
+        result = ExpressionMatrix(
             values=scaled,
             genes=list(self.genes),
             samples=list(self.samples),
             conditions=list(self.conditions) if self.conditions else None,
             metadata=dict(self.metadata),
         )
+        # Enforce the immutability the memo relies on: once a standardised
+        # view exists, in-place writes to either value array raise instead of
+        # silently serving stale correlations.
+        self.values.setflags(write=False)
+        result.values.setflags(write=False)
+        self._standardized = result
+        return result
 
     def gene_variances(self) -> np.ndarray:
         """Return the per-gene expression variance."""

@@ -5,26 +5,34 @@ and proximity of their genes' shared functional annotations (AEES), which
 separates biologically meaningful clusters from coincidental ones.
 """
 
-from .annotation import AnnotationTable
+from .annotation import AnnotationIndex, AnnotationTable
 from .enrichment import (
     ClusterEnrichment,
+    ClusterScores,
     EdgeAnnotation,
     EnrichmentScorer,
+    reference_score_cluster,
+    reference_score_edge,
     score_cluster,
     score_edge,
 )
 from .generator import annotate_study, make_go_dag, make_study_ontology
-from .go_dag import GODag, GOTerm
+from .go_dag import GODag, GOTerm, TermIndex
 
 __all__ = [
     "GODag",
     "GOTerm",
+    "TermIndex",
     "AnnotationTable",
+    "AnnotationIndex",
     "EdgeAnnotation",
     "ClusterEnrichment",
+    "ClusterScores",
     "EnrichmentScorer",
     "score_edge",
     "score_cluster",
+    "reference_score_edge",
+    "reference_score_cluster",
     "make_go_dag",
     "annotate_study",
     "make_study_ontology",

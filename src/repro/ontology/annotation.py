@@ -9,12 +9,66 @@ lists for enrichment summaries).
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Mapping
+from collections.abc import Hashable, Iterable, Mapping
 from typing import Optional
 
-from .go_dag import GODag
+import numpy as np
 
-__all__ = ["AnnotationTable"]
+from .go_dag import GODag, TermIndex
+
+__all__ = ["AnnotationTable", "AnnotationIndex"]
+
+
+class AnnotationIndex:
+    """A CSR view of an :class:`AnnotationTable` over interned term ids.
+
+    ``term_ids[indptr[g]:indptr[g+1]]`` is gene row ``g``'s annotation terms
+    as **pre-sorted ascending** interned ids.  Interned ids are assigned in
+    sorted term-string order (see :class:`~repro.ontology.go_dag.TermIndex`),
+    so a row read left to right is exactly the ``sorted(terms_of(gene))``
+    iteration of the scalar scorer — the batched engine inherits its
+    candidate-pair order without any per-edge ``sorted()`` call.
+
+    Rows exist only for annotated genes; :meth:`rows_for` maps arbitrary
+    labels, returning ``-1`` for anything without annotations.
+    """
+
+    __slots__ = ("term_index", "genes", "indptr", "term_ids", "_row_of")
+
+    def __init__(self, table: "AnnotationTable", term_index: TermIndex) -> None:
+        self.term_index = term_index
+        self.genes: tuple[str, ...] = tuple(table._gene_terms)
+        self._row_of: dict[str, int] = {g: i for i, g in enumerate(self.genes)}
+        id_of = term_index.id_of
+        rows = [
+            np.sort(np.fromiter((id_of[t] for t in table._gene_terms[g]), dtype=np.int64))
+            for g in self.genes
+        ]
+        counts = np.array([r.shape[0] for r in rows], dtype=np.int64)
+        self.indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.indptr[1:])
+        self.term_ids = (
+            np.concatenate(rows) if rows else np.empty(0, dtype=np.int64)
+        )
+        self.indptr.setflags(write=False)
+        self.term_ids.setflags(write=False)
+
+    @property
+    def n_genes(self) -> int:
+        return len(self.genes)
+
+    def row_of(self, gene: Hashable) -> int:
+        """Gene row of one label (``str()``-normalised), ``-1`` when unannotated."""
+        return self._row_of.get(str(gene), -1)
+
+    def rows_for(self, genes: Iterable[Hashable]) -> np.ndarray:
+        """Map labels to gene rows (``-1`` for unannotated) in one pass."""
+        get = self._row_of.get
+        return np.fromiter((get(str(g), -1) for g in genes), dtype=np.int64)
+
+    def terms_of_row(self, row: int) -> np.ndarray:
+        """The sorted interned term ids of gene row ``row``."""
+        return self.term_ids[self.indptr[row] : self.indptr[row + 1]]
 
 
 class AnnotationTable:
@@ -38,6 +92,7 @@ class AnnotationTable:
         self.dag = dag
         self._gene_terms: dict[str, set[str]] = {}
         self._term_genes: dict[str, set[str]] = {}
+        self._index: Optional[AnnotationIndex] = None
         if annotations:
             for gene, terms in annotations.items():
                 self.annotate(gene, terms)
@@ -53,6 +108,22 @@ class AnnotationTable:
         for t in term_list:
             bucket.add(t)
             self._term_genes.setdefault(t, set()).add(gene)
+        self._index = None
+
+    def indexed(self) -> AnnotationIndex:
+        """Return the CSR :class:`AnnotationIndex` of this table (cached).
+
+        The index is pinned to the DAG's current
+        :meth:`~repro.ontology.go_dag.GODag.term_index` snapshot and rebuilt
+        whenever either side moved — new annotations drop it eagerly, DAG
+        mutations are detected by snapshot identity.
+        """
+        term_index = self.dag.term_index()
+        index = self._index
+        if index is None or index.term_index is not term_index:
+            index = AnnotationIndex(self, term_index)
+            self._index = index
+        return index
 
     def terms_of(self, gene: str) -> set[str]:
         """Return the terms annotated to ``gene`` (empty set when unannotated)."""

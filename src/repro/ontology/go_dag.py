@@ -13,13 +13,331 @@ from __future__ import annotations
 
 from collections import deque
 from collections.abc import Iterable
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
 from ..graph.csr import CSRGraph
 
-__all__ = ["GOTerm", "GODag"]
+__all__ = [
+    "GOTerm",
+    "GODag",
+    "TermIndex",
+    "dcp_batch_arrays",
+    "distance_batch_arrays",
+]
+
+
+class TermIndex:
+    """An interned, int64-native snapshot of a :class:`GODag`'s term space.
+
+    The batched enrichment engine never touches term *strings* in its hot
+    loops; this index is the translation layer it computes on instead:
+
+    * every term is interned to an ``int64`` id assigned in **sorted term-id
+      order**, so comparing interned ids is exactly comparing term strings —
+      the engine's tie-breaks (DCP "ties broken lexically", the scalar
+      scorer's first-pair-wins candidate order) survive the translation
+      bit-identically;
+    * ``depths[t]`` is the longest-path depth of term ``t`` (the root's is 0);
+    * the ancestor structure is CSR: ``anc_indices[anc_indptr[t]:anc_indptr[t+1]]``
+      is the **sorted** array of ``t``'s ancestor ids including ``t`` itself,
+      which turns common-ancestor queries into sorted-array intersections;
+    * ``term_csr`` is the undirected parent/child structure as a
+      :class:`CSRGraph` over interned ids (rows sorted), the BFS substrate for
+      term distances.
+
+    The index is a frozen snapshot: :meth:`GODag.term_index` caches one per
+    DAG and drops it on any structural mutation.
+    """
+
+    __slots__ = (
+        "terms",
+        "id_of",
+        "depths",
+        "anc_indptr",
+        "anc_indices",
+        "term_csr",
+        "_dist_rows",
+    )
+
+    #: Bound on the per-source distance-row cache (FIFO), mirroring
+    #: ``GODag._SSSP_CACHE_LIMIT``: each row is one int64 per term.
+    _DIST_ROW_LIMIT = 1024
+
+    def __init__(self, dag: "GODag") -> None:
+        self.terms: tuple[str, ...] = tuple(sorted(dag._terms))
+        self.id_of: dict[str, int] = {t: i for i, t in enumerate(self.terms)}
+        n = len(self.terms)
+        self.depths = np.array([dag._depth_cache[t] for t in self.terms], dtype=np.int64)
+        self.depths.setflags(write=False)
+        # Ancestor CSR: process terms shallowest-first so every parent row is
+        # complete before its children union it (the DAG guarantees
+        # depth(parent) < depth(child) under longest-path depths).
+        rows: list[Optional[np.ndarray]] = [None] * n
+        own = np.arange(n, dtype=np.int64)
+        for t in np.argsort(self.depths, kind="stable"):
+            term = dag._terms[self.terms[t]]
+            if not term.parents:
+                rows[t] = own[t : t + 1]
+                continue
+            parent_rows = [rows[self.id_of[p]] for p in term.parents]
+            rows[t] = np.unique(np.concatenate(parent_rows + [own[t : t + 1]]))
+        counts = np.array([r.shape[0] for r in rows], dtype=np.int64)
+        self.anc_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.anc_indptr[1:])
+        self.anc_indices = np.concatenate(rows) if rows else np.empty(0, dtype=np.int64)
+        self.anc_indptr.setflags(write=False)
+        self.anc_indices.setflags(write=False)
+        # Undirected term structure over interned ids (each parent link is one
+        # undirected edge, exactly once).
+        us = [self.id_of[t] for t, term in dag._terms.items() for _ in term.parents]
+        vs = [self.id_of[p] for term in dag._terms.values() for p in term.parents]
+        self.term_csr = CSRGraph.from_edge_arrays(
+            range(n), np.asarray(us, dtype=np.int64), np.asarray(vs, dtype=np.int64)
+        )
+        self._dist_rows: dict[int, np.ndarray] = {}
+
+    @property
+    def n_terms(self) -> int:
+        return len(self.terms)
+
+    def ids_for(self, terms: Iterable[str]) -> np.ndarray:
+        """Intern an iterable of term strings (raises ``KeyError`` on unknowns)."""
+        id_of = self.id_of
+        return np.array([id_of[t] for t in terms], dtype=np.int64)
+
+    def ancestors_of(self, term_id: int) -> np.ndarray:
+        """Sorted ancestor ids of one interned term, including itself."""
+        return self.anc_indices[self.anc_indptr[term_id] : self.anc_indptr[term_id + 1]]
+
+    def dcp_batch(self, a_ids: np.ndarray, b_ids: np.ndarray) -> np.ndarray:
+        """Deepest common parent of each aligned pair, vectorised.
+
+        Implements the scalar rule exactly — among common ancestors, maximise
+        ``(depth, term)`` — via the sorted-ancestor-array intersection of
+        :func:`dcp_batch_arrays`.
+        """
+        return dcp_batch_arrays(a_ids, b_ids, self.depths, self.anc_indptr, self.anc_indices)
+
+    def distance_batch(self, a_ids: np.ndarray, b_ids: np.ndarray) -> np.ndarray:
+        """Shortest undirected term distance of each aligned pair.
+
+        Served from the cached per-source BFS rows where possible; cold
+        sources fall to :func:`distance_batch_arrays`' batched frontier BFS.
+        """
+        return distance_batch_arrays(
+            a_ids,
+            b_ids,
+            self.term_csr.indptr,
+            self.term_csr.indices,
+            row_cache=self._dist_rows,
+            row_limit=self._DIST_ROW_LIMIT,
+        )
+
+
+def dcp_batch_arrays(
+    a_ids: np.ndarray,
+    b_ids: np.ndarray,
+    depths: np.ndarray,
+    anc_indptr: np.ndarray,
+    anc_indices: np.ndarray,
+) -> np.ndarray:
+    """Deepest common parent of each aligned interned pair, on raw arrays.
+
+    The a-side ancestor rows are gathered per pair and probed against the
+    b-side rows with one packed ``searchsorted``: keying each b-row element
+    by its pair index yields a globally sorted array (rows are sorted,
+    pair ids ascend), so membership is a single binary search per candidate.
+    Among the surviving common ancestors the per-pair maximum of the packed
+    ``(depth, id)`` key reproduces the scalar rule exactly — ties fall to the
+    larger interned id, which is the lexically larger term by construction.
+
+    Free function on purpose: the parallel backends ship the depth/ancestor
+    arrays (via the shared arena) instead of pickling an index object.
+    """
+    a_ids = np.ascontiguousarray(a_ids, dtype=np.int64)
+    b_ids = np.ascontiguousarray(b_ids, dtype=np.int64)
+    n_pairs = a_ids.shape[0]
+    if n_pairs == 0:
+        return np.empty(0, dtype=np.int64)
+    k = np.int64(depths.shape[0])
+    a_vals, a_pair = _gather_csr_rows(anc_indptr, anc_indices, a_ids)
+    b_vals, b_pair = _gather_csr_rows(anc_indptr, anc_indices, b_ids)
+    packed_b = b_pair * k + b_vals
+    queries = a_pair * k + a_vals
+    pos = np.searchsorted(packed_b, queries)
+    pos[pos >= packed_b.shape[0]] = packed_b.shape[0] - 1
+    common = packed_b[pos] == queries
+    cand_vals = a_vals[common]
+    cand_pair = a_pair[common]
+    # Per-pair max of (depth, id), packed into one int64 key.  Every pair has
+    # at least one common ancestor (the root), so no segment is empty.
+    key = depths[cand_vals] * k + cand_vals
+    seg = np.zeros(n_pairs + 1, dtype=np.int64)
+    np.cumsum(np.bincount(cand_pair, minlength=n_pairs), out=seg[1:])
+    best = np.maximum.reduceat(key, seg[:-1])
+    return best % k
+
+
+#: Cold-source count above which :func:`distance_batch_arrays` switches from
+#: per-source frontier BFS rows to the multi-source bitset BFS.  Per-source
+#: rows win for small warm batches (each row is cacheable and one BFS is a
+#: handful of array ops); the bitset sweep wins as soon as the per-BFS numpy
+#: call overhead would be paid more than a few dozen times.
+_BITSET_SOURCE_THRESHOLD = 16
+
+
+def distance_batch_arrays(
+    a_ids: np.ndarray,
+    b_ids: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    row_cache: Optional[dict[int, np.ndarray]] = None,
+    row_limit: int = 0,
+) -> np.ndarray:
+    """Undirected BFS distance of each aligned interned pair, on raw arrays.
+
+    Pairs are grouped by their smaller endpoint.  Sources with a cached BFS
+    distance row (``row_cache``, the :class:`TermIndex`'s FIFO table) are
+    answered by a gather; a few cold sources run one frontier BFS each (the
+    rows feed the cache, bounded by ``row_limit``); a *large* cold batch —
+    the enrichment engine's first pass sees thousands of distinct sources —
+    runs **one multi-source bitset BFS** instead: every source becomes a bit
+    plane, one ``bitwise_or.reduceat`` over the CSR expands all frontiers a
+    level at a time in C, and queries are answered the level their source's
+    bit first reaches their destination (see :func:`_bitset_distance_queries`).
+
+    Free function on purpose: the parallel backends ship the CSR arrays (via
+    the shared arena) instead of pickling an index object.
+    """
+    a_ids = np.ascontiguousarray(a_ids, dtype=np.int64)
+    b_ids = np.ascontiguousarray(b_ids, dtype=np.int64)
+    src = np.minimum(a_ids, b_ids)
+    dst = np.maximum(a_ids, b_ids)
+    out = np.zeros(a_ids.shape[0], dtype=np.int64)
+    sources, inverse = np.unique(src, return_inverse=True)
+    # Group query positions by source once (one stable argsort), so serving
+    # a source — cached or fresh — is a slice, not a full scan of the batch.
+    order = np.argsort(inverse, kind="stable")
+    bounds = np.zeros(sources.shape[0] + 1, dtype=np.int64)
+    np.cumsum(np.bincount(inverse, minlength=sources.shape[0]), out=bounds[1:])
+    cold: list[int] = []
+    for si, s in enumerate(sources.tolist()):
+        row = row_cache.get(s) if row_cache else None
+        if row is None:
+            cold.append(si)
+            continue
+        q = order[bounds[si] : bounds[si + 1]]
+        out[q] = row[dst[q]]
+    if not cold:
+        return out
+    if len(cold) <= _BITSET_SOURCE_THRESHOLD:
+        for si in cold:
+            s = int(sources[si])
+            row = _bfs_distances(indptr, indices, s)
+            if row_cache is not None:
+                if row_limit and len(row_cache) >= row_limit:
+                    row_cache.pop(next(iter(row_cache)))
+                row_cache[s] = row
+            q = order[bounds[si] : bounds[si + 1]]
+            out[q] = row[dst[q]]
+        return out
+    pending = np.concatenate([order[bounds[si] : bounds[si + 1]] for si in cold])
+    out[pending] = _bitset_distance_queries(indptr, indices, src[pending], dst[pending])
+    return out
+
+
+def _bitset_distance_queries(
+    indptr: np.ndarray, indices: np.ndarray, src: np.ndarray, dst: np.ndarray
+) -> np.ndarray:
+    """Answer ``(src, dst)`` distance queries with one multi-source bitset BFS.
+
+    Each distinct source owns one bit across ``W = ceil(S / 64)`` uint64
+    words per vertex; ``reached[v]`` is the set of sources whose BFS has
+    touched ``v``.  A level expands **all** frontiers at once:
+    ``bitwise_or.reduceat(frontier[indices], indptr[:-1])`` ORs every
+    vertex's neighbour masks in one C pass, newly-set bits advance the
+    frontier, and every still-pending query whose source bit just reached
+    its destination is answered with the current level.  Unreachable pairs
+    (impossible in a rooted DAG) come back ``-1``, matching the scalar BFS.
+    """
+    n = indptr.shape[0] - 1
+    out = np.full(src.shape[0], -1, dtype=np.int64)
+    same = src == dst
+    out[same] = 0
+    pending = np.nonzero(~same)[0]
+    if pending.size == 0 or indices.shape[0] == 0:
+        return out
+    sources, s_idx = np.unique(src, return_inverse=True)
+    s_count = sources.shape[0]
+    word = (s_idx // 64).astype(np.int64)
+    bit = (s_idx % 64).astype(np.uint64)
+    n_words = (s_count + 63) // 64
+    reached = np.zeros((n, n_words), dtype=np.uint64)
+    lane = np.arange(s_count, dtype=np.int64)
+    np.bitwise_or.at(
+        reached, (sources, lane // 64), np.uint64(1) << (lane % 64).astype(np.uint64)
+    )
+    # Reduce only over non-empty rows: consecutive non-empty rows tile
+    # ``indices`` exactly, so their ``indptr`` starts are valid reduceat
+    # segment bounds (zero-degree rows would otherwise repeat a start and
+    # corrupt the preceding row's segment).
+    nonempty = np.nonzero(np.diff(indptr) > 0)[0]
+    row_starts = indptr[nonempty]
+    frontier = reached.copy()
+    d = 0
+    while pending.size and frontier.any():
+        d += 1
+        new = np.zeros_like(reached)
+        new[nonempty] = np.bitwise_or.reduceat(frontier[indices], row_starts, axis=0)
+        new &= ~reached
+        reached |= new
+        hit = (new[dst[pending], word[pending]] >> bit[pending]) & np.uint64(1) != 0
+        out[pending[hit]] = d
+        pending = pending[~hit]
+        frontier = new
+    return out
+
+
+def _bfs_distances(indptr: np.ndarray, indices: np.ndarray, src: int) -> np.ndarray:
+    """Frontier-array BFS distances from ``src`` over raw CSR arrays (−1 = unreachable)."""
+    n = indptr.shape[0] - 1
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[src] = 0
+    frontier = np.array([src], dtype=np.int64)
+    d = 0
+    while frontier.size:
+        d += 1
+        nbrs, _ = _gather_csr_rows(indptr, indices, frontier)
+        nbrs = nbrs[dist[nbrs] < 0]
+        if nbrs.size == 0:
+            break
+        frontier = np.unique(nbrs)
+        dist[frontier] = d
+    return dist
+
+
+def _gather_csr_rows(
+    indptr: np.ndarray, indices: np.ndarray, rows: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate CSR rows with one fancy index; returns ``(values, row_of)``.
+
+    The free-function twin of :meth:`CSRGraph.gather_rows`, usable on any CSR
+    pair (ancestor structure, annotation table) without a graph object —
+    which is what the process backends ship across the boundary.
+    """
+    rows = np.ascontiguousarray(rows, dtype=np.int64)
+    starts = indptr[rows]
+    counts = indptr[rows + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    row_base = np.zeros(rows.shape[0], dtype=np.int64)
+    np.cumsum(counts[:-1], out=row_base[1:])
+    take = np.repeat(starts - row_base, counts) + np.arange(total, dtype=np.int64)
+    row_of = np.repeat(np.arange(rows.shape[0], dtype=np.int64), counts)
+    return indices[take], row_of
 
 
 class GOTerm:
@@ -63,6 +381,9 @@ class GODag:
         self._sssp_cache: dict[str, np.ndarray] = {}
         self._dist_index: Optional[dict[str, int]] = None
         self._dist_csr: Optional[CSRGraph] = None
+        # Interned int64 snapshot for the batched enrichment engine; built
+        # lazily by term_index() and dropped on any structural change.
+        self._term_index: Optional[TermIndex] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -215,6 +536,21 @@ class GODag:
         self._sssp_cache.clear()
         self._dist_index = None
         self._dist_csr = None
+        self._term_index = None
+
+    def term_index(self) -> TermIndex:
+        """Return the interned :class:`TermIndex` snapshot of this DAG (cached).
+
+        The snapshot is rebuilt lazily after any structural mutation
+        (:meth:`add_term`, :meth:`add_parent`), so holders must re-fetch it
+        rather than keep one across mutations — consumers (the enrichment
+        engine) key their own caches on the snapshot's identity.
+        """
+        index = self._term_index
+        if index is None:
+            index = TermIndex(self)
+            self._term_index = index
+        return index
 
     def _ensure_distance_csr(self) -> None:
         """Build the undirected parent/child structure as a CSRGraph (lazy).
@@ -241,20 +577,7 @@ class GODag:
 
     def _distances_from(self, src: int) -> np.ndarray:
         """All BFS distances from term row ``src`` (−1 where unreachable)."""
-        csr = self._dist_csr
-        dist = np.full(csr.n_vertices, -1, dtype=np.int64)
-        dist[src] = 0
-        frontier = np.array([src], dtype=np.int64)
-        d = 0
-        while frontier.size:
-            d += 1
-            nbrs, _ = csr.gather_rows(frontier)
-            nbrs = nbrs[dist[nbrs] < 0]
-            if nbrs.size == 0:
-                break
-            frontier = np.unique(nbrs)
-            dist[frontier] = d
-        return dist
+        return _bfs_distances(self._dist_csr.indptr, self._dist_csr.indices, src)
 
     def term_distance(self, term_a: str, term_b: str) -> int:
         """Return the shortest undirected path length between two terms.

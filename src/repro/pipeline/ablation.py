@@ -63,10 +63,14 @@ def mcode_threshold_sweep(
                 "original_clusters": len(original_clusters),
                 "filtered_clusters": len(filtered_clusters),
                 "original_relevant": sum(
-                    1 for c in original_clusters if bundle.scorer.cluster(c.subgraph).aees >= 3.0
+                    1
+                    for aees in bundle.scorer.cluster_aees([c.subgraph for c in original_clusters])
+                    if aees >= 3.0
                 ),
                 "filtered_relevant": sum(
-                    1 for c in filtered_clusters if bundle.scorer.cluster(c.subgraph).aees >= 3.0
+                    1
+                    for aees in bundle.scorer.cluster_aees([c.subgraph for c in filtered_clusters])
+                    if aees >= 3.0
                 ),
             }
         )
@@ -114,7 +118,8 @@ def partitioner_ablation(
 
 def _relevant_cluster_count(bundle: DatasetBundle, graph) -> int:
     clusters = mcode_clusters(graph, bundle.mcode_params)
-    return sum(1 for c in clusters if bundle.scorer.cluster(c.subgraph).aees >= bundle.thresholds.aees_threshold)
+    scores = bundle.scorer.cluster_aees([c.subgraph for c in clusters])
+    return sum(1 for aees in scores if aees >= bundle.thresholds.aees_threshold)
 
 
 def hub_retention_study(

@@ -119,7 +119,7 @@ def fig04_aees_by_ordering(
     means: dict[str, float] = {}
     for name in datasets:
         bundle = get_bundle(name, scale)
-        orig_scores = [bundle.scorer.cluster(c.subgraph).aees for c in bundle.original_clusters]
+        orig_scores = bundle.scorer.cluster_aees([c.subgraph for c in bundle.original_clusters])
         for cid, aees in enumerate(orig_scores):
             rows.append({"dataset": name, "network": "ORIG", "cluster": f"C{cid}", "aees": aees})
         if orig_scores:

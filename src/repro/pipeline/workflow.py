@@ -101,8 +101,8 @@ class FilterAnalysis:
         return f"{self.bundle.name}/{self.result.method}/{ordering}/{self.result.n_partitions}P"
 
     def cluster_aees(self) -> list[float]:
-        """AEES of every filtered cluster, in cluster order."""
-        return [self.bundle.scorer.cluster(c.subgraph).aees for c in self.clusters]
+        """AEES of every filtered cluster, in cluster order (one batched pass)."""
+        return self.bundle.scorer.cluster_aees([c.subgraph for c in self.clusters])
 
     def high_scoring_clusters(self, threshold: Optional[float] = None) -> list[Cluster]:
         """Clusters whose AEES clears the (default 3.0) relevance threshold."""
@@ -153,6 +153,7 @@ def prepare_dataset(
     correlation_threshold: Optional[CorrelationThreshold] = None,
     ontology_depth: int = 8,
     ontology_branching: int = 3,
+    enrichment_backend: str = "serial",
 ) -> DatasetBundle:
     """Generate a dataset and everything needed to evaluate filters on it.
 
@@ -160,6 +161,10 @@ def prepare_dataset(
     the four canned studies (``YNG``, ``MID``, ``UNT``, ``CRE``); ``scale``
     shrinks the study for fast runs; the remaining parameters expose the
     pipeline's thresholds (paper defaults when omitted).
+    ``enrichment_backend`` selects the execution backend of the bundle's
+    enrichment scorer (see :class:`~repro.ontology.EnrichmentScorer`):
+    ``"serial"`` scores distinct term pairs in-process, the parallel
+    backends fan pair batches over worker threads / processes.
     """
     params = mcode_params or MCODEParams()
     thresholds = thresholds or EvaluationThresholds()
@@ -173,7 +178,7 @@ def prepare_dataset(
     dag, annotations = make_study_ontology(
         study, depth=ontology_depth, branching=ontology_branching
     )
-    scorer = EnrichmentScorer(dag, annotations)
+    scorer = EnrichmentScorer(dag, annotations, backend=enrichment_backend)
     original_clusters = cluster_network(
         network, params, source=f"{study.name}/original", csr=network_csr
     )

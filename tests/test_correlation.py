@@ -193,3 +193,43 @@ class TestNetworkConstruction:
         m = ExpressionMatrix(np.zeros((3, 1)), genes=["a", "b", "c"], samples=["s"])
         assert build_correlation_csr(m).n_edges == 0
         assert build_correlation_csr(m, include_all_genes=False).n_vertices == 0
+
+
+class TestVectorisedPValues:
+    def test_scalar_equals_vector_on_grid(self):
+        from repro.expression import correlation_p_values
+
+        grid = np.concatenate(
+            [np.linspace(-1.0, 1.0, 101), [0.9999999, -0.9999999, 1.5, -1.5]]
+        )
+        for n in (3, 4, 10, 30, 100):
+            vector = correlation_p_values(grid, n)
+            scalar = np.array([correlation_p_value(r, n) for r in grid])
+            assert np.array_equal(vector, scalar)
+
+    def test_underpowered_sample_counts_return_ones(self):
+        from repro.expression import correlation_p_values
+
+        out = correlation_p_values(np.array([0.0, 0.5, 0.99]), 2)
+        assert np.array_equal(out, np.ones(3))
+
+    def test_saturated_correlations_are_exactly_zero(self):
+        from repro.expression import correlation_p_values
+
+        out = correlation_p_values(np.array([1.0, -1.0, 2.0]), 10)
+        assert np.array_equal(out, np.zeros(3))
+
+    def test_admits_array_matches_scalar_admits(self):
+        from repro.expression import correlation_p_values  # noqa: F401 - import path
+
+        rng = np.random.default_rng(3)
+        rhos = np.concatenate([rng.uniform(-1, 1, 200), [0.95, -0.95, 1.0, -1.0]])
+        for threshold in (
+            CorrelationThreshold(),
+            CorrelationThreshold(include_negative=True),
+            CorrelationThreshold(min_abs_rho=0.0, max_p_value=0.01),
+        ):
+            for n in (3, 12, 40):
+                vector = threshold.admits_array(rhos, n)
+                scalar = np.array([threshold.admits(r, n) for r in rhos])
+                assert np.array_equal(vector, scalar), (threshold, n)

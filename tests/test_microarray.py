@@ -111,3 +111,56 @@ class TestTransforms:
         assert top == ["g2"]
         with pytest.raises(ValueError):
             m.top_variance_genes(0.0)
+
+
+class TestStandardizedMemo:
+    def test_standardized_is_memoised(self):
+        m = make_matrix()
+        assert m.standardized() is m.standardized()
+
+    def test_standardized_matrix_memoises_itself(self):
+        std = make_matrix().standardized()
+        assert std.standardized() is std.standardized()
+
+    def test_correlation_passes_reuse_the_memo(self, monkeypatch):
+        from repro.expression.correlation import (
+            correlated_pair_arrays,
+            pearson_correlation_matrix,
+        )
+
+        m = make_matrix()
+        calls = {"n": 0}
+        original = ExpressionMatrix.standardized
+
+        def counting(self):
+            calls["n"] += 1
+            return original(self)
+
+        monkeypatch.setattr(ExpressionMatrix, "standardized", counting)
+        pearson_correlation_matrix(m)
+        correlated_pair_arrays(m)
+        pearson_correlation_matrix(m)
+        # Three passes, three cache lookups, one actual standardisation: the
+        # counting wrapper fires per call but the body's compute path only
+        # runs while the memo is empty.
+        assert calls["n"] == 3
+        assert m._standardized is not None
+        assert m.standardized() is m._standardized
+
+    def test_memo_not_shared_across_transforms(self):
+        m = make_matrix()
+        first = m.standardized()
+        sub = m.subset_genes(["g1", "g2"])
+        assert sub.standardized() is not first
+        assert sub.standardized().n_genes == 2
+
+
+class TestStandardizedImmutability:
+    def test_values_frozen_once_memo_exists(self):
+        m = make_matrix()
+        m.values[0, 0] = 99.0  # mutable before the memo fills
+        std = m.standardized()
+        with pytest.raises(ValueError):
+            m.values[0, 0] = 1.0
+        with pytest.raises(ValueError):
+            std.values[0, 0] = 1.0
