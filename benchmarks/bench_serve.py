@@ -1,0 +1,312 @@
+#!/usr/bin/env python
+"""Warm-serve vs cold-CLI benchmark for the resident analysis service.
+
+Measures what the ``repro serve`` daemon actually buys: a cold CLI run pays
+interpreter start-up, dataset generation, network thresholding, GO index and
+scorer construction and original-cluster discovery on *every* invocation,
+while the daemon pays them once and serves requests from warm state — with an
+LRU result cache in front of the handlers.  For each grid cell this harness
+times, per op (``classify`` is the headline, ``filter`` for context):
+
+* ``cold_seconds`` — one ``python -m repro … --json`` subprocess (the real
+  cold path, interpreter and all);
+* ``warm_miss_seconds`` — the first served request of that spec: warm
+  bundles, cache miss (the handler runs);
+* ``warm_hit_p50`` / ``warm_hit_p99`` / ``req_per_s`` — repeated identical
+  requests served from the result cache, i.e. steady-state serving.
+
+Cold and warm responses are byte-compared in every cell (the ``identical``
+flag) — the speedup is only meaningful while the bytes match.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py                # full grid
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick        # CI grid
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick \
+        --check BENCH_serve.json --threshold 0.25                  # CI gate
+
+JSON schema (``bench_serve/v1``)::
+
+    {
+      "schema": "bench_serve/v1",
+      "label": str, "quick": bool, "python": str, "platform": str,
+      "created": str, "dataset": "CRE",
+      "server": {"workers", "cache_size"},
+      "runs": [ {"dataset", "scale", "scale_factor", "op", "cold_seconds",
+                 "warm_miss_seconds", "warm_hit_p50", "warm_hit_p99",
+                 "req_per_s", "hit_requests", "identical"} ],
+      "speedup": {"CRE/<scale>": {"cold_seconds", "warm_miss_seconds",
+                  "warm_hit_p50", "warm_hit_p99", "req_per_s",
+                  "speedup_p50", "miss_speedup", "identical"}}
+    }
+
+``--check`` re-measures the quick grid and gates on the headline cell's
+``warm_hit_p50 / cold_seconds`` ratio — both sides of the ratio measured in
+the same fresh run on the same machine, so hardware speed cancels — against
+the committed file's ratio, failing on a regression beyond ``--threshold``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from datetime import datetime, timezone
+from typing import Any, Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.serve import ReproServer, ServeClient  # noqa: E402
+
+SCHEMA = "bench_serve/v1"
+
+DATASET = "CRE"
+#: Same scale ladder as ``bench_workflow.py``; ``large`` is the acceptance
+#: cell (the ISSUE's >=5x warm-p50 criterion is measured on large classify).
+SCALES: dict[str, float] = {
+    "tiny": 0.02,
+    "small": 0.05,
+    "medium": 0.10,
+    "large": 0.15,
+}
+SCALE_ORDER = ["tiny", "small", "medium", "large"]
+
+SERVER = dict(workers=2, cache_size=256)
+
+#: Repeated identical requests per cell (first = the miss, rest = hits).
+HIT_REQUESTS = 20
+
+
+def canonical(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return float("nan")
+    idx = min(int(round(q * (len(sorted_values) - 1))), len(sorted_values) - 1)
+    return sorted_values[idx]
+
+
+def _cold_cli(op: str, scale_factor: float) -> tuple[float, str]:
+    """One cold CLI subprocess for ``op``; returns (seconds, canonical json)."""
+    command = {"filter": "filter", "classify": "analyze"}[op]
+    argv = [
+        sys.executable, "-m", "repro", command,
+        "--dataset", DATASET, "--scale", str(scale_factor), "--json",
+    ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    t0 = time.perf_counter()
+    proc = subprocess.run(argv, capture_output=True, text=True, env=env, check=True)
+    seconds = time.perf_counter() - t0
+    return seconds, proc.stdout.strip()
+
+
+def _warm_requests(
+    client: ServeClient, op: str, scale_factor: float
+) -> tuple[float, list[float], str]:
+    """First-request (miss) seconds, sorted hit latencies, canonical payload."""
+    params = {"dataset": DATASET, "scale": scale_factor}
+    t0 = time.perf_counter()
+    first = client.request(op, **params)
+    miss_seconds = time.perf_counter() - t0
+    assert first["ok"], first
+    assert first["cached"] is False, "expected the first request to be a cache miss"
+    hits: list[float] = []
+    for _ in range(HIT_REQUESTS):
+        t0 = time.perf_counter()
+        response = client.request(op, **params)
+        hits.append(time.perf_counter() - t0)
+        assert response["ok"] and response["cached"] is True, response
+    return miss_seconds, sorted(hits), canonical(first["result"])
+
+
+def run_grid(quick: bool, verbose: bool = True) -> list[dict[str, Any]]:
+    scales = ["tiny", "small"] if quick else SCALE_ORDER
+    runs: list[dict[str, Any]] = []
+    for scale in scales:
+        factor = SCALES[scale]
+        # One daemon per scale cell: its default scale IS the cell, so the
+        # served and cold requests name exactly the same work.
+        with ReproServer(default_scale=factor, **SERVER) as server:
+            with ServeClient(port=server.port, timeout=3600.0) as client:
+                for op in ("filter", "classify"):
+                    cold_seconds, cold_json = _cold_cli(op, factor)
+                    miss_seconds, hits, warm_json = _warm_requests(client, op, factor)
+                    row = {
+                        "dataset": DATASET,
+                        "scale": scale,
+                        "scale_factor": factor,
+                        "op": op,
+                        "cold_seconds": round(cold_seconds, 6),
+                        "warm_miss_seconds": round(miss_seconds, 6),
+                        "warm_hit_p50": round(_percentile(hits, 0.50), 6),
+                        "warm_hit_p99": round(_percentile(hits, 0.99), 6),
+                        "req_per_s": round(len(hits) / sum(hits), 1) if sum(hits) else None,
+                        "hit_requests": len(hits),
+                        "identical": warm_json == cold_json,
+                    }
+                    runs.append(row)
+                    if verbose:
+                        print(
+                            f"{DATASET:>4} {scale:>6} {op:>9}  cold {cold_seconds:7.3f}s  "
+                            f"miss {miss_seconds:7.3f}s  hit p50 {row['warm_hit_p50'] * 1000:7.2f}ms  "
+                            f"p99 {row['warm_hit_p99'] * 1000:7.2f}ms  "
+                            f"{row['req_per_s']:>8} req/s  identical={row['identical']}",
+                            flush=True,
+                        )
+    return runs
+
+
+def _speedup_table(runs: list[dict[str, Any]]) -> dict[str, dict[str, Any]]:
+    table: dict[str, dict[str, Any]] = {}
+    for row in runs:
+        if row["op"] != "classify":
+            continue
+        table[f"{row['dataset']}/{row['scale']}"] = {
+            "cold_seconds": row["cold_seconds"],
+            "warm_miss_seconds": row["warm_miss_seconds"],
+            "warm_hit_p50": row["warm_hit_p50"],
+            "warm_hit_p99": row["warm_hit_p99"],
+            "req_per_s": row["req_per_s"],
+            "speedup_p50": (
+                round(row["cold_seconds"] / row["warm_hit_p50"], 1)
+                if row["warm_hit_p50"]
+                else None
+            ),
+            "miss_speedup": (
+                round(row["cold_seconds"] / row["warm_miss_seconds"], 2)
+                if row["warm_miss_seconds"]
+                else None
+            ),
+            "identical": row["identical"],
+        }
+    return table
+
+
+def _headline_cell(table: dict[str, dict[str, Any]]) -> Optional[str]:
+    """The acceptance cell: the largest measured scale (CRE/large classify)."""
+    for scale in reversed(SCALE_ORDER):
+        cell = f"{DATASET}/{scale}"
+        if cell in table:
+            return cell
+    return None
+
+
+def check_regression(
+    runs: list[dict[str, Any]], committed: dict[str, Any], threshold: float
+) -> int:
+    """Gate on the committed baseline, normalized for hardware speed.
+
+    The gated quantity is the headline cell's ``warm_hit_p50 / cold_seconds``
+    ratio — numerator and denominator from the same fresh run, so machine
+    speed cancels — against the committed file's ratio for the same cell.
+    A cell whose warm and cold bytes differ fails outright.
+    """
+    fresh = _speedup_table(runs)
+    for cell, entry in fresh.items():
+        if not entry["identical"]:
+            print(f"check: FAIL — {cell}: served and cold payloads differ", file=sys.stderr)
+            return 1
+    committed_table = committed.get("speedup", {})
+    shared = {c: fresh[c] for c in fresh if c in committed_table}
+    headline = _headline_cell(shared)
+    if headline is None:
+        print("check: no shared cell between fresh and committed runs", file=sys.stderr)
+        return 2
+    old = committed_table[headline]
+    new = shared[headline]
+    old_ratio = old["warm_hit_p50"] / old["cold_seconds"]
+    new_ratio = new["warm_hit_p50"] / new["cold_seconds"]
+    rel = new_ratio / old_ratio if old_ratio else float("inf")
+    print(
+        f"check: {headline}: committed warm p50 {old['warm_hit_p50'] * 1000:.2f}ms / "
+        f"cold {old['cold_seconds']:.3f}s, fresh warm p50 "
+        f"{new['warm_hit_p50'] * 1000:.2f}ms / cold {new['cold_seconds']:.3f}s "
+        f"(absolute, informational)"
+    )
+    print(
+        f"check: warm/cold ratio: committed {old_ratio:.5f}, fresh {new_ratio:.5f}, "
+        f"relative {rel:.2f}"
+    )
+    if rel > 1.0 + threshold:
+        print(
+            f"check: FAIL — warm serving regressed {(rel - 1.0) * 100:.0f}% vs the "
+            f"cold CLI (> {threshold * 100:.0f}% allowed)",
+            file=sys.stderr,
+        )
+        return 1
+    print("check: OK")
+    return 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small CI grid (tiny + small scales)")
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output JSON path (default BENCH_serve.json, or bench_serve_fresh.json "
+        "when --check is given so the committed baseline is never clobbered)",
+    )
+    parser.add_argument("--label", default="warm-serve", help="label for this variant")
+    parser.add_argument(
+        "--check",
+        metavar="FILE",
+        help="compare the fresh headline warm/cold ratio against a committed bench file",
+    )
+    parser.add_argument("--threshold", type=float, default=0.25, help="allowed regression for --check")
+    args = parser.parse_args(argv)
+
+    if args.out is None:
+        args.out = "bench_serve_fresh.json" if args.check else "BENCH_serve.json"
+    committed: Optional[dict[str, Any]] = None
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as fh:
+            committed = json.load(fh)
+
+    runs = run_grid(args.quick)
+    table = _speedup_table(runs)
+    headline = _headline_cell(table)
+    if headline:
+        entry = table[headline]
+        print(
+            f"headline {headline} classify: cold {entry['cold_seconds']:.3f}s → warm p50 "
+            f"{entry['warm_hit_p50'] * 1000:.2f}ms ({entry['speedup_p50']}x), "
+            f"miss {entry['warm_miss_seconds']:.3f}s ({entry['miss_speedup']}x), "
+            f"{entry['req_per_s']} req/s (identical={entry['identical']})"
+        )
+
+    payload: dict[str, Any] = {
+        "schema": SCHEMA,
+        "label": args.label,
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "dataset": DATASET,
+        "server": SERVER,
+        "runs": runs,
+        "speedup": table,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out} ({len(runs)} runs)")
+    if committed is not None:
+        return check_regression(runs, committed, args.threshold)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,15 +13,24 @@ A small CLI so the pipeline can be driven without writing Python:
 ``python -m repro batch``
     run a sweep of figure experiments (dedup, disk cache, process fan-out);
 ``python -m repro datasets``
-    list the built-in synthetic datasets and their scaled sizes.
+    list the built-in synthetic datasets and their scaled sizes;
+``python -m repro serve``
+    start the resident warm-state analysis daemon (see :mod:`repro.serve`);
+``python -m repro request``
+    send one request to a running daemon and print its canonical JSON result.
 
 Every command accepts ``--scale`` (default: the benchmark scale, see
 ``REPRO_SCALE``) and prints plain-text tables via :mod:`repro.pipeline.report`.
+``filter`` and ``analyze`` additionally take ``--json``, which prints the
+*canonical result payload* instead of the tables — byte-identical to what the
+daemon serves for the same request, which is how the serving tests pin
+cold/warm equivalence.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -41,7 +50,12 @@ from .pipeline.batch import (
     run_batch,
 )
 from .pipeline.report import format_kv, format_table
-from .pipeline.workflow import analyze_filter, prepare_dataset
+from .pipeline.workflow import (
+    analysis_payload,
+    analyze_filter,
+    filter_payload,
+    prepare_dataset,
+)
 
 __all__ = ["build_parser", "main"]
 
@@ -79,6 +93,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     filt.add_argument("--seed", type=int, default=0, help="seed for the random-walk filter")
     filt.add_argument("--output", default=None, help="write the filtered network as an edge list to this path")
+    filt.add_argument(
+        "--json",
+        action="store_true",
+        help="print the canonical result payload (one JSON line) instead of tables",
+    )
 
     analyze = sub.add_parser("analyze", help="full analysis: filter + MCODE + enrichment + overlap")
     analyze.add_argument("--dataset", choices=dataset_names(), default="CRE")
@@ -86,7 +105,47 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--method", choices=filter_names(), default="chordal")
     analyze.add_argument("--ordering", choices=ordering_names(), default="natural")
     analyze.add_argument("--partitions", type=int, default=1)
+    analyze.add_argument("--partition-method", default="block", help="block / bfs / hash / greedy")
+    analyze.add_argument("--seed", type=int, default=0, help="seed for the random-walk filter")
     analyze.add_argument("--top", type=int, default=10, help="number of clusters to list")
+    analyze.add_argument(
+        "--json",
+        action="store_true",
+        help="print the canonical result payload (one JSON line) instead of tables",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="start the resident analysis daemon (warm bundles, caching, batching)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    serve.add_argument(
+        "--preload",
+        default="",
+        help="comma-separated datasets to warm before accepting clients",
+    )
+    serve.add_argument("--scale", type=float, default=None)
+    serve.add_argument("--workers", type=int, default=4, help="executor threads")
+    serve.add_argument("--max-pending", type=int, default=64, help="admission queue bound")
+    serve.add_argument("--cache-size", type=int, default=256, help="LRU result-cache entries")
+    serve.add_argument(
+        "--port-file",
+        default=None,
+        help="write the bound port to this file once listening (for scripts)",
+    )
+
+    request = sub.add_parser("request", help="send one request to a running daemon")
+    request.add_argument("op", help="operation: filter / classify / enrich / ping / stats / reload / shutdown")
+    request.add_argument("--host", default="127.0.0.1")
+    request.add_argument("--port", type=int, default=None)
+    request.add_argument("--port-file", default=None, help="read the daemon's port from this file")
+    request.add_argument(
+        "--params",
+        default="{}",
+        help='request parameters as one JSON object, e.g. \'{"dataset": "CRE"}\'',
+    )
+    request.add_argument("--timeout", type=float, default=600.0)
 
     figure = sub.add_parser("figure", help="regenerate one of the paper's figures")
     figure.add_argument("name", choices=sorted(_FIGURES), help="figure / claim to regenerate")
@@ -166,10 +225,14 @@ def _cmd_filter(args: argparse.Namespace) -> int:
         seed=args.seed,
         backend=args.backend,
     )
-    print(format_kv(result.summary(), title=f"{args.dataset} @ scale {scale}: {args.method}"))
+    if args.json:
+        print(_canonical_json(filter_payload(result)))
+    else:
+        print(format_kv(result.summary(), title=f"{args.dataset} @ scale {scale}: {args.method}"))
     if args.output:
         write_edge_list(result.graph, args.output)
-        print(f"filtered network written to {args.output}")
+        if not args.json:
+            print(f"filtered network written to {args.output}")
     return 0
 
 
@@ -181,7 +244,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         method=args.method,
         ordering=args.ordering if args.method != "random_walk" else None,
         n_partitions=args.partitions,
+        partition_method=args.partition_method,
+        seed=args.seed,
     )
+    if args.json:
+        print(_canonical_json(analysis_payload(analysis)))
+        return 0
     print(format_kv(analysis.summary(), title=analysis.label))
     rows = []
     for cluster, aees in list(zip(analysis.clusters, analysis.cluster_aees()))[: args.top]:
@@ -196,6 +264,71 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         )
     print()
     print(format_table(rows, title=f"top {len(rows)} clusters"))
+    return 0
+
+
+def _canonical_json(payload: dict) -> str:
+    """The byte-exact serialisation both the CLI and the daemon emit."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ReproServer  # deferred: the daemon is opt-in
+
+    scale = args.scale if args.scale is not None else exp.default_scale()
+    preload = tuple(_split(args.preload))
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        preload=preload,
+        default_scale=scale,
+        workers=args.workers,
+        max_pending=args.max_pending,
+        cache_size=args.cache_size,
+    )
+    server.start()
+    try:
+        if args.port_file:
+            with open(args.port_file, "w", encoding="utf-8") as fh:
+                fh.write(f"{server.port}\n")
+        print(
+            f"repro serve: listening on {server.host}:{server.port} "
+            f"(scale {scale}, {args.workers} workers"
+            + (f", preloaded {', '.join(preload)}" if preload else "")
+            + ")",
+            flush=True,
+        )
+        server.serve_forever()
+    finally:
+        server.stop()
+    return 0
+
+
+def _cmd_request(args: argparse.Namespace) -> int:
+    from .serve import ServeClient, ServeError, ServeTimeout  # deferred
+
+    port = args.port
+    if port is None and args.port_file:
+        with open(args.port_file, encoding="utf-8") as fh:
+            port = int(fh.read().strip())
+    if port is None:
+        print("repro request: --port or --port-file is required", file=sys.stderr)
+        return 2
+    try:
+        params = json.loads(args.params)
+    except ValueError as err:
+        print(f"repro request: --params is not valid JSON: {err}", file=sys.stderr)
+        return 2
+    if not isinstance(params, dict):
+        print("repro request: --params must be a JSON object", file=sys.stderr)
+        return 2
+    try:
+        with ServeClient(host=args.host, port=port, timeout=args.timeout) as client:
+            result = client.result(args.op, **params)
+    except (ServeError, ServeTimeout, OSError) as err:
+        print(f"repro request: {err}", file=sys.stderr)
+        return 1
+    print(_canonical_json(result) if isinstance(result, dict) else json.dumps(result))
     return 0
 
 
@@ -303,6 +436,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "analyze": _cmd_analyze,
         "figure": _cmd_figure,
         "batch": _cmd_batch,
+        "serve": _cmd_serve,
+        "request": _cmd_request,
     }
     return handlers[args.command](args)
 

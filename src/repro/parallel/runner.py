@@ -53,12 +53,25 @@ from .shm import export_payload, owned_arena, resolve_payload
 __all__ = [
     "RankResult",
     "SpmdReport",
+    "WorkerPoolError",
     "run_spmd",
     "parallel_map",
     "available_backends",
     "shutdown_worker_pool",
     "worker_pool_size",
 ]
+
+
+class WorkerPoolError(RuntimeError):
+    """The shared ``process`` pool lost a worker while a map was in flight.
+
+    ``multiprocessing.Pool`` silently loses the tasks a killed worker was
+    holding, so an unchecked ``pool.map`` would block forever — the same
+    failure mode :func:`_spawn_and_collect` detects for SPMD ranks.  The
+    checked map raises this instead and tears the broken pool down, so the
+    caller (one request of the resident service, one batch run) fails cleanly
+    and the next call respawns a fresh pool.
+    """
 
 RankFn = Callable[..., Any]
 
@@ -441,8 +454,49 @@ def _pool_map(
     """
     pool = _get_worker_pool(n_workers)
     if processes is None or processes >= len(payloads):
-        return pool.map(_call_star, payloads)
+        return _map_checked(pool, payloads)
     results: list[Any] = []
     for start in range(0, len(payloads), processes):
-        results.extend(pool.map(_call_star, payloads[start : start + processes]))
+        results.extend(_map_checked(pool, payloads[start : start + processes]))
     return results
+
+
+#: Poll period of the worker-death watchdog while a checked map is in flight.
+POOL_DEATH_POLL = 0.05
+#: Drain grace after a worker death is noticed: results already in the pipe
+#: are still collected before the pool is declared broken.
+POOL_DRAIN_TIMEOUT = 5.0
+
+
+def _map_checked(
+    pool: multiprocessing.pool.Pool,
+    payloads: list[tuple[Callable[..., Any], tuple[Any, ...]]],
+) -> list[Any]:
+    """``pool.map`` with dead-worker detection instead of an infinite hang.
+
+    The worker set is snapshotted before submitting (``Pool`` replaces dead
+    workers in place, so the snapshot — not the live list — is what witnesses
+    a death).  While waiting, any snapshot worker exiting means tasks may have
+    been lost: after a drain grace for a map that completes anyway, the pool
+    is torn down (so the next call starts fresh) and :class:`WorkerPoolError`
+    is raised.
+    """
+    try:
+        workers = list(pool._pool)
+    except AttributeError:  # pragma: no cover - unknown Pool internals
+        return pool.map(_call_star, payloads)
+    result = pool.map_async(_call_star, payloads)
+    while True:
+        result.wait(POOL_DEATH_POLL)
+        if result.ready():
+            return result.get()
+        if any(not w.is_alive() for w in workers):
+            result.wait(POOL_DRAIN_TIMEOUT)
+            if result.ready():
+                return result.get()
+            dead = [w.name for w in workers if not w.is_alive()]
+            shutdown_worker_pool()
+            raise WorkerPoolError(
+                f"parallel_map process backend: worker(s) {dead} died mid-map; "
+                f"the shared pool was shut down and will respawn on the next call"
+            )

@@ -52,6 +52,8 @@ __all__ = [
     "get_active_arena",
     "arena_scope",
     "owned_arena",
+    "open_segment_count",
+    "attached_handle_count",
 ]
 
 
@@ -291,15 +293,44 @@ class SharedArena:
 _ALL_ARENAS: "weakref.WeakSet[SharedArena]" = weakref.WeakSet()
 
 
-def _cleanup_all_arenas() -> None:  # pragma: no cover - exercised at interpreter exit
+def _cleanup_all_arenas() -> None:
+    # The worker pool must be down before any arena is unlinked: pool workers
+    # attach segments lazily, and a worker racing an unlink would die on
+    # FileNotFoundError instead of exiting cleanly.  atexit's LIFO order makes
+    # the pool hook run first only when :mod:`.runner` was imported after this
+    # module, so the ordering is enforced here instead of relied upon.
+    try:
+        from .runner import shutdown_worker_pool
+
+        shutdown_worker_pool()
+    except Exception:  # pragma: no cover - defensive (partial interpreter)
+        pass
     for arena in list(_ALL_ARENAS):
         try:
             arena.unlink()
-        except Exception:
+        except Exception:  # pragma: no cover - defensive
             pass
 
 
 atexit.register(_cleanup_all_arenas)
+
+
+def open_segment_count() -> int:
+    """Shared-memory segments created by this process and not yet unlinked.
+
+    The open-handle accounting of the arena layer: a component that owns
+    arena lifecycles (the batch engine's scale-groups, the resident service's
+    start/stop cycles) can assert it returns to its baseline after teardown —
+    a nonzero delta is a leaked ``/dev/shm`` segment that would otherwise
+    survive until interpreter exit.
+    """
+    return sum(arena.n_segments for arena in list(_ALL_ARENAS) if not arena._unlinked)
+
+
+def attached_handle_count() -> int:
+    """Attach-side segment handles currently cached in this process."""
+    with _attach_lock:
+        return len(_attached)
 
 
 # ----------------------------------------------------------------------

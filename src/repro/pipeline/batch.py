@@ -45,12 +45,25 @@ __all__ = [
     "SCALE_ALIASES",
     "RunSpec",
     "BatchRunResult",
+    "canonical_hash",
     "driver_names",
     "get_driver",
     "driver_accepts",
     "parse_scale",
     "run_batch",
 ]
+
+
+def canonical_hash(data: Any) -> str:
+    """Stable 16-hex-digit content hash of a JSON-canonicalisable structure.
+
+    The single hashing convention of the repo's request/run caches: the batch
+    engine keys its disk cache with it (via :meth:`RunSpec.spec_hash`) and the
+    resident service (:mod:`repro.serve`) keys its in-memory LRU result cache
+    with it, so one spec hashed on either side names the same work.
+    """
+    blob = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
 #: Registry of batchable experiment drivers: every figure plus the two
 #: in-text claims.  ``repro figure`` and ``repro batch`` share this table.
@@ -155,8 +168,7 @@ class RunSpec:
 
     def spec_hash(self) -> str:
         """Stable 16-hex-digit content hash of the spec."""
-        blob = json.dumps(self.canonical(), sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+        return canonical_hash(self.canonical())
 
     @classmethod
     def from_canonical(cls, data: dict[str, Any]) -> "RunSpec":

@@ -19,8 +19,10 @@ experiment in a few lines:
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 from ..clustering.cluster import Cluster
 from ..clustering.evaluation import (
@@ -41,7 +43,17 @@ from ..graph.graph import Graph
 from ..ontology.enrichment import EnrichmentScorer
 from ..ontology.generator import make_study_ontology
 
-__all__ = ["DatasetBundle", "FilterAnalysis", "prepare_dataset", "analyze_filter", "cluster_network"]
+__all__ = [
+    "DatasetBundle",
+    "FilterAnalysis",
+    "prepare_dataset",
+    "analyze_filter",
+    "cluster_network",
+    "payload_digest",
+    "filter_payload",
+    "analysis_payload",
+    "enrichment_payload",
+]
 
 
 @dataclass
@@ -241,3 +253,126 @@ def analyze_filter(
         node_counts=quadrant_counts(scored_node),
         edge_counts=quadrant_counts(scored_edge),
     )
+
+
+# ----------------------------------------------------------------------
+# canonical result payloads
+# ----------------------------------------------------------------------
+# The resident service (``repro serve``) promises responses byte-identical to
+# a cold CLI run of the same request.  That promise is only testable if both
+# sides serialise through ONE canonical form, so the payload builders live
+# here, next to the pipeline that produces the objects: ``repro filter
+# --json`` / ``repro analyze --json`` print these dicts, the serve handlers
+# return them over the socket, and the equivalence tests compare the bytes of
+# ``json.dumps(payload, sort_keys=True, separators=(",", ":"))`` on both
+# sides.  Scores travel as ``float.hex()`` strings — exact, no decimal
+# round-trip ambiguity.
+
+
+def payload_digest(obj: Any) -> str:
+    """Stable 16-hex-digit digest of a JSON-canonicalisable payload fragment."""
+    blob = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def _canonical_edges(graph: Graph) -> list[list[str]]:
+    """The graph's edge set as a sorted list of sorted string pairs."""
+    return sorted(sorted((str(u), str(v))) for u, v in graph.iter_edges())
+
+
+def filter_payload(result: FilterResult, include_edges: bool = False) -> dict[str, Any]:
+    """Canonical payload of one sampling-filter run (the ``filter`` request).
+
+    The edge set is pinned by ``edges_sha256``; ``include_edges`` additionally
+    inlines the sorted edge list for callers that want the network itself.
+    """
+    edges = _canonical_edges(result.graph)
+    payload: dict[str, Any] = {
+        "method": result.method,
+        "ordering": result.ordering,
+        "n_partitions": result.n_partitions,
+        "partition_method": result.partition_method,
+        "n_vertices": result.graph.n_vertices,
+        "edges_original": result.original.n_edges,
+        "edges_kept": result.n_edges_kept,
+        "edge_reduction_hex": float(result.edge_reduction).hex(),
+        "border_edges": result.n_border_edges,
+        "accepted_border_edges": len(result.accepted_border_edges),
+        "duplicate_border_edges": result.duplicate_border_edges,
+        "edges_sha256": payload_digest(edges),
+    }
+    if include_edges:
+        payload["edges"] = edges
+    return payload
+
+
+def _cluster_rows(clusters: Sequence[Cluster]) -> list[dict[str, Any]]:
+    return [
+        {
+            "cluster": c.cluster_id,
+            "size": c.n_vertices,
+            "edges": c.n_edges,
+            "score_hex": float(c.score).hex(),
+            "members_sha256": payload_digest(sorted(map(str, c.members))),
+        }
+        for c in clusters
+    ]
+
+
+def analysis_payload(analysis: FilterAnalysis) -> dict[str, Any]:
+    """Canonical payload of one full analysis run (the ``classify`` request).
+
+    Everything the acceptance pins: the filtered edge set (via the embedded
+    :func:`filter_payload`), the cluster member/score digests, the exact AEES
+    scores and the quadrant counts of both overlap criteria.
+    """
+    clusters = _cluster_rows(analysis.clusters)
+    aees_hex = [float(a).hex() for a in analysis.cluster_aees()]
+    matches = [
+        {
+            "filtered": m.filtered.cluster_id,
+            "original": None if m.original is None else m.original.cluster_id,
+            "node_overlap_hex": float(m.node_overlap).hex(),
+            "edge_overlap_hex": float(m.edge_overlap).hex(),
+        }
+        for m in analysis.matches
+    ]
+    return {
+        "dataset": analysis.bundle.name,
+        "scale": analysis.bundle.scale,
+        "label": analysis.label,
+        "filter": filter_payload(analysis.result),
+        "original_clusters": len(analysis.bundle.original_clusters),
+        "clusters": clusters,
+        "clusters_sha256": payload_digest(clusters),
+        "aees_hex": aees_hex,
+        "aees_sha256": payload_digest(aees_hex),
+        "matches": matches,
+        "clusters_found": len(analysis.found),
+        "clusters_lost": len(analysis.lost),
+        "node_counts": analysis.node_counts.as_dict(),
+        "edge_counts": analysis.edge_counts.as_dict(),
+    }
+
+
+def enrichment_payload(
+    clusters: Sequence[Cluster], aees: Sequence[float], source: str
+) -> dict[str, Any]:
+    """Canonical payload of one cluster-enrichment pass (the ``enrich`` request)."""
+    if len(clusters) != len(aees):
+        raise ValueError("aees must align one-to-one with clusters")
+    rows = [
+        {
+            "cluster": c.cluster_id,
+            "size": c.n_vertices,
+            "edges": c.n_edges,
+            "aees_hex": float(a).hex(),
+        }
+        for c, a in zip(clusters, aees)
+    ]
+    return {
+        "source": source,
+        "n_clusters": len(rows),
+        "clusters": rows,
+        "aees_sha256": payload_digest([r["aees_hex"] for r in rows]),
+    }

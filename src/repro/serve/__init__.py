@@ -1,0 +1,71 @@
+"""Resident warm-state analysis service (``repro serve``).
+
+The cold CLI pays dataset generation, network thresholding, GO-index
+construction and cluster discovery on *every* invocation; the serve layer
+pays them once.  A :class:`ReproServer` holds prepared dataset bundles (and
+the shared-memory arena + worker pool of the parallel backends) resident and
+answers ``filter`` / ``classify`` / ``enrich`` requests over a local socket —
+admission-bounded, LRU-cached by spec hash and with cross-request enrichment
+coalescing.  Responses are byte-identical to a cold ``repro … --json`` run of
+the same request; the test tier enforces it.
+"""
+
+from .admission import AdmissionQueue, BusyError, ShuttingDownError, Ticket
+from .cache import CacheStats, ResultCache
+from .client import ServeClient, ServeError, ServeTimeout
+from .coalesce import EnrichmentBatcher
+from .handlers import CACHEABLE_OPS, HANDLERS, normalize_params
+from .protocol import (
+    ERROR_BAD_REQUEST,
+    ERROR_BUSY,
+    ERROR_INTERNAL,
+    ERROR_SHUTTING_DOWN,
+    MAX_MESSAGE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    error_response,
+    ok_response,
+    parse_request,
+    read_message,
+    request_spec,
+    spec_hash,
+    write_message,
+)
+from .server import ReproServer, ServerHooks
+from .state import DatasetState, ServerState
+
+__all__ = [
+    "AdmissionQueue",
+    "BusyError",
+    "ShuttingDownError",
+    "Ticket",
+    "CacheStats",
+    "ResultCache",
+    "ServeClient",
+    "ServeError",
+    "ServeTimeout",
+    "EnrichmentBatcher",
+    "CACHEABLE_OPS",
+    "HANDLERS",
+    "normalize_params",
+    "ERROR_BAD_REQUEST",
+    "ERROR_BUSY",
+    "ERROR_INTERNAL",
+    "ERROR_SHUTTING_DOWN",
+    "MAX_MESSAGE_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Request",
+    "error_response",
+    "ok_response",
+    "parse_request",
+    "read_message",
+    "request_spec",
+    "spec_hash",
+    "write_message",
+    "ReproServer",
+    "ServerHooks",
+    "DatasetState",
+    "ServerState",
+]

@@ -1,0 +1,190 @@
+"""Request admission: a bounded queue in front of a fixed worker pool.
+
+The service must degrade predictably under load — the partitioned-serving
+architectures this layer follows (admission control in front of shared
+warm state) reject overload at the door instead of queueing unboundedly.
+Concretely:
+
+* at most ``workers`` requests execute concurrently;
+* at most ``max_pending`` admitted requests wait in the queue;
+* a submission beyond that fails *immediately* with :class:`BusyError` — the
+  caller gets a clean ``busy`` response, never a hang;
+* :meth:`AdmissionQueue.shutdown` stops admitting, lets every already-admitted
+  request finish (the graceful drain), then joins the workers.
+
+Tickets are the completion handles: the connection thread that admitted a
+request blocks on its ticket while the worker pool executes it.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from contextlib import nullcontext
+from typing import Any, Callable, ContextManager, Optional
+
+__all__ = ["BusyError", "ShuttingDownError", "Ticket", "AdmissionQueue"]
+
+
+class BusyError(RuntimeError):
+    """The admission queue is full; the request was rejected, not queued."""
+
+
+class ShuttingDownError(RuntimeError):
+    """The service no longer admits requests (shutdown in progress)."""
+
+
+class Ticket:
+    """Completion handle of one admitted request."""
+
+    def __init__(self, fn: Callable[[], Any]) -> None:
+        self._fn = fn
+        self._done = threading.Event()
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+
+    def run(self) -> None:
+        try:
+            self.value = self._fn()
+        except BaseException as exc:  # noqa: BLE001 — delivered to the waiter
+            self.error = exc
+        finally:
+            self._done.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the request completed; ``False`` on timeout."""
+        return self._done.wait(timeout)
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+
+class AdmissionQueue:
+    """Bounded work queue executed by a fixed set of worker threads.
+
+    ``worker_wrap`` optionally supplies a context manager entered for the
+    lifetime of each worker thread — the server uses it to make its shared
+    arena ambient (:func:`repro.parallel.shm.arena_scope`) inside every
+    worker, so ``process-shm`` filter requests export into one arena.
+    """
+
+    def __init__(
+        self,
+        max_pending: int = 64,
+        workers: int = 4,
+        worker_wrap: Optional[Callable[[], ContextManager[Any]]] = None,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.max_pending = max_pending
+        self.workers = workers
+        self._worker_wrap = worker_wrap
+        self._queue: "queue.Queue[Optional[Ticket]]" = queue.Queue(maxsize=max_pending)
+        self._threads: list[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._closed = False
+        self._started = False
+        self._in_flight = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.executed = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        with self._lock:
+            if self._started:
+                return
+            self._started = True
+            self._threads = [
+                threading.Thread(target=self._worker_loop, name=f"serve-worker-{i}", daemon=True)
+                for i in range(self.workers)
+            ]
+        for t in self._threads:
+            t.start()
+
+    def shutdown(self) -> None:
+        """Stop admitting, drain every admitted request, join the workers.
+
+        Sentinels are enqueued *behind* the pending tickets, so workers finish
+        everything that was admitted before exiting — the graceful part.
+        Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            started = self._started
+        if not started:
+            return
+        for _ in self._threads:
+            # The queue is bounded and may be full of pending tickets; a
+            # blocking put preserves FIFO order (sentinel after the drain).
+            self._queue.put(None)
+        for t in self._threads:
+            t.join()
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def submit(self, fn: Callable[[], Any]) -> Ticket:
+        """Admit one request; raises instead of blocking when it cannot."""
+        with self._lock:
+            if self._closed:
+                raise ShuttingDownError("the service is shutting down")
+            if not self._started:
+                raise RuntimeError("AdmissionQueue.submit before start()")
+            ticket = Ticket(fn)
+            try:
+                self._queue.put_nowait(ticket)
+            except queue.Full:
+                self.rejected += 1
+                raise BusyError(
+                    f"admission queue full ({self.max_pending} pending)"
+                ) from None
+            self.admitted += 1
+            return ticket
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently executing (not counting the queued ones)."""
+        with self._lock:
+            return self._in_flight
+
+    @property
+    def pending(self) -> int:
+        """Admitted requests not yet picked up by a worker."""
+        return self._queue.qsize()
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "executed": self.executed,
+                "in_flight": self._in_flight,
+                "pending": self._queue.qsize(),
+            }
+
+    # ------------------------------------------------------------------
+    # workers
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        wrap = self._worker_wrap() if self._worker_wrap is not None else nullcontext()
+        with wrap:
+            while True:
+                ticket = self._queue.get()
+                if ticket is None:
+                    return
+                with self._lock:
+                    self._in_flight += 1
+                try:
+                    ticket.run()
+                finally:
+                    with self._lock:
+                        self._in_flight -= 1
+                        self.executed += 1

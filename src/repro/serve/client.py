@@ -1,0 +1,87 @@
+"""Client of the resident service.
+
+A thin synchronous wrapper over the line protocol: connect, send one request
+object per call, read its response.  Used by ``repro request``, the serving
+benchmark and the test tier.  Error responses surface as :class:`ServeError`
+(carrying the protocol error code); a socket-level timeout — e.g. against a
+stalled daemon — surfaces as :class:`ServeTimeout` instead of hanging the
+caller forever.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Optional
+
+from .protocol import read_message, write_message
+
+__all__ = ["ServeError", "ServeTimeout", "ServeClient"]
+
+
+class ServeError(RuntimeError):
+    """The daemon answered with an error response."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+class ServeTimeout(TimeoutError):
+    """No response within the client's timeout (stalled or unreachable daemon)."""
+
+
+class ServeClient:
+    """One connection to a running :class:`~repro.serve.server.ReproServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._wfile = self._sock.makefile("wb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def request(self, op: str, **params: Any) -> dict[str, Any]:
+        """Send one request and return the raw response object."""
+        self._next_id += 1
+        req_id = self._next_id
+        try:
+            write_message(self._wfile, {"id": req_id, "op": op, "params": params})
+            response = read_message(self._rfile)
+        except socket.timeout:
+            raise ServeTimeout(
+                f"no response from {self.host}:{self.port} within {self.timeout}s"
+            ) from None
+        if response is None:
+            raise ServeError("disconnected", "the daemon closed the connection")
+        return response
+
+    def result(self, op: str, **params: Any) -> Any:
+        """Send one request and return its result, raising on error responses."""
+        response = self.request(op, **params)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServeError(
+                error.get("code", "internal"), error.get("message", "unknown error")
+            )
+        return response["result"]
+
+    def ping(self) -> dict[str, Any]:
+        return self.result("ping")
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        for closer in (self._rfile.close, self._wfile.close, self._sock.close):
+            try:
+                closer()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -1,0 +1,230 @@
+"""Warm state of the resident service.
+
+One :class:`DatasetState` per ``(dataset, scale)`` holds everything the CLI
+rebuilds from cold on every invocation: the prepared
+:class:`~repro.pipeline.workflow.DatasetBundle` (expression study, label +
+CSR network views, GO DAG with its interned term index, annotation index,
+enrichment scorer with its pair-table memo, original clusters) plus the
+service-side machinery — a drain lock for reload, a generation counter for
+cache invalidation and the enrichment batcher.
+
+Reload discipline: requests hold a *shared* claim on the state while they
+execute; ``begin_reload`` blocks new claims, waits for the active ones to
+drain, and only then is the bundle swapped and the generation bumped — an
+in-flight request never observes a half-swapped state.
+
+The bundle's scorer is wrapped in :class:`_LockedScorer`: worker threads run
+requests concurrently, but the scorer's pair-table memo is a mutable shared
+structure, so every scorer call is serialised per dataset.  (Scores are
+bit-identical either way; the lock only removes the data race.)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Optional
+
+from ..pipeline.workflow import DatasetBundle, prepare_dataset
+from .coalesce import EnrichmentBatcher
+
+__all__ = ["DatasetState", "ServerState"]
+
+
+class _LockedScorer:
+    """Thread-safe proxy around one :class:`EnrichmentScorer`.
+
+    Every callable attribute is executed under one re-entrant lock; plain
+    attributes pass through.  The underlying scorer computes exactly what it
+    would unlocked, so results are unchanged — only concurrent mutation of
+    the pair-table memo is excluded.
+    """
+
+    def __init__(self, scorer: Any) -> None:
+        self._scorer = scorer
+        self._lock = threading.RLock()
+
+    def __getattr__(self, name: str) -> Any:
+        attr = getattr(self._scorer, name)
+        if not callable(attr):
+            return attr
+        lock = self._lock
+
+        def locked(*args: Any, **kwargs: Any) -> Any:
+            with lock:
+                return attr(*args, **kwargs)
+
+        locked.__name__ = getattr(attr, "__name__", name)
+        return locked
+
+
+def dataset_key(name: str, scale: float) -> str:
+    """Stable identifier of one warm dataset state (cache tagging, stats)."""
+    return f"{name.upper()}@{round(float(scale), 6)}"
+
+
+class DatasetState:
+    """One warm ``(dataset, scale)`` slot: bundle + generation + drain lock."""
+
+    def __init__(
+        self,
+        name: str,
+        scale: float,
+        bundle: DatasetBundle,
+        batch_gate: Optional[Callable[[], None]] = None,
+        batch_submit: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self.name = name.upper()
+        self.scale = round(float(scale), 6)
+        self.bundle = bundle
+        self.generation = 0
+        self.created = time.time()
+        self._batch_gate = batch_gate
+        self._batch_submit = batch_submit
+        self.batcher = EnrichmentBatcher(bundle.scorer, gate=batch_gate, on_submit=batch_submit)
+        self._cond = threading.Condition()
+        self._active = 0
+        self._reloading = False
+
+    @property
+    def key(self) -> str:
+        return dataset_key(self.name, self.scale)
+
+    # ------------------------------------------------------------------
+    # shared claims (request execution)
+    # ------------------------------------------------------------------
+    def acquire(self) -> None:
+        """Take a shared claim; blocks while a reload is swapping state."""
+        with self._cond:
+            while self._reloading:
+                self._cond.wait()
+            self._active += 1
+
+    def release(self) -> None:
+        with self._cond:
+            self._active -= 1
+            if self._active < 0:  # pragma: no cover - defensive
+                raise RuntimeError("DatasetState.release without acquire")
+            self._cond.notify_all()
+
+    @property
+    def active(self) -> int:
+        with self._cond:
+            return self._active
+
+    # ------------------------------------------------------------------
+    # exclusive claim (reload)
+    # ------------------------------------------------------------------
+    def begin_reload(self, on_drain: Optional[Callable[[str], None]] = None) -> None:
+        """Block new claims, then wait for in-flight requests to drain.
+
+        ``on_drain`` (a non-blocking observer hook) fires once if the reload
+        actually had to wait for active requests.
+        """
+        with self._cond:
+            while self._reloading:
+                self._cond.wait()
+            self._reloading = True
+            draining = self._active > 0
+        if draining and on_drain is not None:
+            on_drain(self.key)
+        with self._cond:
+            while self._active > 0:
+                self._cond.wait()
+
+    def end_reload(self) -> None:
+        with self._cond:
+            self._reloading = False
+            self._cond.notify_all()
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "dataset": self.name,
+            "scale": self.scale,
+            "generation": self.generation,
+            "n_vertices": self.bundle.n_vertices,
+            "n_edges": self.bundle.n_edges,
+            "original_clusters": len(self.bundle.original_clusters),
+            "active_requests": self.active,
+        }
+
+
+class ServerState:
+    """All warm dataset states of one server, built lazily and reloadable."""
+
+    def __init__(
+        self,
+        default_scale: float,
+        seed: Optional[int] = None,
+        enrichment_backend: str = "serial",
+        batch_gate: Optional[Callable[[], None]] = None,
+        batch_submit: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self.default_scale = round(float(default_scale), 6)
+        self.seed = seed
+        self.enrichment_backend = enrichment_backend
+        self.batch_gate = batch_gate
+        self.batch_submit = batch_submit
+        self._states: dict[str, DatasetState] = {}
+        self._lock = threading.Lock()
+        self._build_lock = threading.Lock()
+
+    def _build_bundle(self, name: str, scale: float) -> DatasetBundle:
+        bundle = prepare_dataset(
+            name, scale=scale, seed=self.seed, enrichment_backend=self.enrichment_backend
+        )
+        # Requests execute on concurrent worker threads; the scorer's memo
+        # tables must not race (see _LockedScorer).
+        bundle.scorer = _LockedScorer(bundle.scorer)
+        return bundle
+
+    def get(self, name: str, scale: Optional[float] = None) -> DatasetState:
+        """The warm state for ``(name, scale)``, building it on first use."""
+        scale = self.default_scale if scale is None else round(float(scale), 6)
+        key = dataset_key(name, scale)
+        with self._lock:
+            state = self._states.get(key)
+        if state is not None:
+            return state
+        # One bundle builds at a time: concurrent first requests for the same
+        # dataset must not both pay the build (or race the install).
+        with self._build_lock:
+            with self._lock:
+                state = self._states.get(key)
+            if state is not None:
+                return state
+            state = DatasetState(
+                name,
+                scale,
+                self._build_bundle(name, scale),
+                batch_gate=self.batch_gate,
+                batch_submit=self.batch_submit,
+            )
+            with self._lock:
+                self._states[key] = state
+            return state
+
+    def reload(
+        self, state: DatasetState, on_drain: Optional[Callable[[str], None]] = None
+    ) -> int:
+        """Drain, rebuild and swap one dataset state; returns the new generation."""
+        state.begin_reload(on_drain)
+        try:
+            state.batcher.stop()
+            state.bundle = self._build_bundle(state.name, state.scale)
+            state.batcher = EnrichmentBatcher(
+                state.bundle.scorer, gate=state._batch_gate, on_submit=state._batch_submit
+            )
+            state.generation += 1
+            return state.generation
+        finally:
+            state.end_reload()
+
+    def states(self) -> list[DatasetState]:
+        with self._lock:
+            return list(self._states.values())
+
+    def close(self) -> None:
+        """Stop the per-state batcher threads (bundles are plain memory)."""
+        for state in self.states():
+            state.batcher.stop()

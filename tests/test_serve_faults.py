@@ -1,0 +1,169 @@
+"""Fault-injection tests for the serving layer and its process substrate.
+
+Covers the failure modes a resident daemon must absorb:
+
+* a pool worker SIGKILLed mid-request → :class:`WorkerPoolError` for that
+  request, pool torn down and respawned, daemon keeps serving;
+* a stalled peer → the client times out instead of hanging forever;
+* repeated serve start/stop cycles → no leaked shared-memory segments and no
+  orphaned worker pool (the arena layer's open-handle accounting);
+* interpreter-exit interplay → arena cleanup tears the worker pool down
+  before unlinking segments, regardless of atexit registration order.
+
+The worker kill is deterministic: the victim is the pool process executing
+the poisoned item, which SIGKILLs itself — no racing an external kill against
+scheduler timing.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import threading
+
+import pytest
+
+from repro.parallel import shm
+from repro.parallel.runner import (
+    WorkerPoolError,
+    parallel_map,
+    shutdown_worker_pool,
+    worker_pool_size,
+)
+from repro.serve import ReproServer, ServeClient, ServeError, ServeTimeout
+
+SCALE = 0.02
+
+
+def _suicide_on_zero(item: int) -> int:
+    """Pool-worker payload: the item-0 worker SIGKILLs itself mid-task."""
+    if item == 0:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return item * 10
+
+
+def _well_behaved(item: int) -> int:
+    return item + 1
+
+
+# ----------------------------------------------------------------------
+# dead-worker detection in the shared pool
+# ----------------------------------------------------------------------
+class TestDeadPoolWorker:
+    def test_killed_worker_raises_instead_of_hanging(self):
+        with pytest.raises(WorkerPoolError, match="died"):
+            parallel_map(_suicide_on_zero, [(i,) for i in range(4)], backend="process")
+        # The broken pool was torn down, not left half-dead.
+        assert worker_pool_size() == 0
+
+    def test_pool_respawns_after_failure(self):
+        with pytest.raises(WorkerPoolError):
+            parallel_map(_suicide_on_zero, [(i,) for i in range(4)], backend="process")
+        # The next call builds a fresh pool and works normally.
+        assert parallel_map(_well_behaved, [(i,) for i in range(6)], backend="process") == [
+            1, 2, 3, 4, 5, 6,
+        ]
+        shutdown_worker_pool()
+
+
+# ----------------------------------------------------------------------
+# the daemon survives a killed pool worker
+# ----------------------------------------------------------------------
+def _faulty_op(params: dict) -> dict:
+    """Test-only server op: fans a poisoned map over the process pool."""
+    values = parallel_map(_suicide_on_zero, [(i,) for i in range(4)], backend="process")
+    return {"values": values}
+
+
+class TestDaemonSurvivesWorkerDeath:
+    def test_failed_request_errors_but_daemon_keeps_serving(self):
+        with ReproServer(
+            default_scale=SCALE, workers=2, extra_handlers={"faulty": _faulty_op}
+        ) as srv:
+            with ServeClient(port=srv.port, timeout=600.0) as client:
+                response = client.request("faulty")
+                assert response["ok"] is False
+                assert response["error"]["code"] == "internal"
+                assert "WorkerPoolError" in response["error"]["message"]
+                # Same connection, next request: the daemon is unharmed.
+                after = client.request("filter", dataset="CRE", seed=5)
+                assert after["ok"] is True
+            # A fresh connection works too, and the pool slot is clean.
+            with ServeClient(port=srv.port, timeout=600.0) as client:
+                assert client.ping()["status"] == "ok"
+
+
+# ----------------------------------------------------------------------
+# client-side timeout against a stalled peer
+# ----------------------------------------------------------------------
+class TestClientTimeout:
+    def test_stalled_socket_times_out_instead_of_hanging(self):
+        listener = socket.create_server(("127.0.0.1", 0))
+        port = listener.getsockname()[1]
+        held: list[socket.socket] = []
+        accepted = threading.Event()
+
+        def hold_open() -> None:
+            conn, _ = listener.accept()
+            held.append(conn)
+            accepted.set()
+            # Never read, never respond: a stalled daemon.
+
+        acceptor = threading.Thread(target=hold_open, daemon=True)
+        acceptor.start()
+        try:
+            client = ServeClient(port=port, timeout=0.5)
+            assert accepted.wait(30)
+            with pytest.raises(ServeTimeout):
+                client.request("ping")
+            client.close()
+        finally:
+            for conn in held:
+                conn.close()
+            listener.close()
+
+    def test_daemon_closing_connection_is_an_error_not_a_hang(self):
+        srv = ReproServer(default_scale=SCALE, workers=1)
+        srv.start()
+        client = ServeClient(port=srv.port, timeout=60.0)
+        assert client.ping()["status"] == "ok"
+        srv.stop()  # drains, then closes the client's connection
+        with pytest.raises((ServeError, OSError)):
+            client.request("ping")
+        client.close()
+
+
+# ----------------------------------------------------------------------
+# start/stop cycles leak nothing
+# ----------------------------------------------------------------------
+class TestServeCycleLeaks:
+    def test_repeated_start_stop_cycles_leak_no_segments(self):
+        baseline_segments = shm.open_segment_count()
+        baseline_handles = shm.attached_handle_count()
+        for cycle in range(3):
+            with ReproServer(default_scale=SCALE, workers=2) as srv:
+                with ServeClient(port=srv.port, timeout=600.0) as client:
+                    params = {"dataset": "CRE", "partitions": 2, "seed": 700 + cycle}
+                    if cycle == 1:
+                        # One cycle exercises the shared-memory path for real:
+                        # the filter exports its graph into the server's arena.
+                        params["backend"] = "process-shm"
+                    assert client.result("filter", **params)["edges_kept"] > 0
+            assert shm.open_segment_count() == baseline_segments, f"cycle {cycle} leaked"
+            assert worker_pool_size() == 0
+        assert shm.attached_handle_count() == baseline_handles
+
+    def test_arena_cleanup_shuts_worker_pool_first(self):
+        # The atexit interplay, invoked directly: _cleanup_all_arenas must be
+        # able to run before the runner's own atexit hook without stranding
+        # pool workers attached to segments it is about to unlink.
+        parallel_map(_well_behaved, [(1,)], backend="process")
+        assert worker_pool_size() > 0
+        arena = shm.SharedArena()
+        try:
+            shm._cleanup_all_arenas()
+            assert worker_pool_size() == 0  # pool down first...
+            assert arena._unlinked  # ...then the arena
+        finally:
+            arena.unlink()
