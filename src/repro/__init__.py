@@ -43,6 +43,7 @@ from .core import (
     sequential_chordal_filter,
 )
 from .expression import CorrelationThreshold, ExpressionMatrix, build_correlation_network, make_study
+from .faults import FaultError, FaultPlan, FaultRule, active_plan, clear_plan, current_plan, fault_point, install_plan
 from .graph import Graph
 from .ontology import AnnotationTable, EnrichmentScorer, GODag
 from .pipeline import analyze_filter, prepare_dataset
@@ -72,4 +73,12 @@ __all__ = [
     "mcode_clusters",
     "prepare_dataset",
     "analyze_filter",
+    "FaultError",
+    "FaultPlan",
+    "FaultRule",
+    "active_plan",
+    "clear_plan",
+    "current_plan",
+    "fault_point",
+    "install_plan",
 ]

@@ -31,11 +31,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import random
 import sys
+import time
 from typing import Optional, Sequence
 
 from .core.sampling import apply_filter, filter_names
-from .parallel.runner import available_backends
+from .parallel.runner import available_backends, configure_supervision
 from .expression.datasets import DATASET_CONFIGS, dataset_names, make_study
 from .graph.io import write_edge_list
 from .graph.ordering import get_ordering, ordering_names
@@ -98,6 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the canonical result payload (one JSON line) instead of tables",
     )
+    _add_supervision_args(filt)
 
     analyze = sub.add_parser("analyze", help="full analysis: filter + MCODE + enrichment + overlap")
     analyze.add_argument("--dataset", choices=dataset_names(), default="CRE")
@@ -113,6 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the canonical result payload (one JSON line) instead of tables",
     )
+    _add_supervision_args(analyze)
 
     serve = sub.add_parser(
         "serve",
@@ -134,6 +138,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the bound port to this file once listening (for scripts)",
     )
+    _add_supervision_args(serve)
 
     request = sub.add_parser("request", help="send one request to a running daemon")
     request.add_argument("op", help="operation: filter / classify / enrich / ping / stats / reload / shutdown")
@@ -146,6 +151,22 @@ def build_parser() -> argparse.ArgumentParser:
         help='request parameters as one JSON object, e.g. \'{"dataset": "CRE"}\'',
     )
     request.add_argument("--timeout", type=float, default=600.0)
+    request.add_argument(
+        "--connect-retries",
+        type=int,
+        default=20,
+        help="retry a refused connection (and a missing port file) this many "
+        "times with seeded backoff, so a request issued right after "
+        "`repro serve &` waits for the daemon instead of failing (0 disables)",
+    )
+    request.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry a transient request failure (busy / timeout / dropped "
+        "connection) this many times; requests are idempotent, so a retry "
+        "returns the byte-identical payload",
+    )
 
     figure = sub.add_parser("figure", help="regenerate one of the paper's figures")
     figure.add_argument("name", choices=sorted(_FIGURES), help="figure / claim to regenerate")
@@ -192,6 +213,32 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_supervision_args(parser: argparse.ArgumentParser) -> None:
+    """Shared fault-supervision flags (filter / analyze / serve)."""
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="retry a failed parallel round this many times before giving up "
+        "(default: the built-in supervision policy)",
+    )
+    parser.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="fail instead of degrading to a simpler execution backend when "
+        "the parallel substrate (pool, shared-memory arena) cannot be "
+        "brought up",
+    )
+
+
+def _apply_supervision(args: argparse.Namespace) -> None:
+    """Install the CLI's supervision overrides on the process-wide policy."""
+    configure_supervision(
+        max_retries=args.max_retries,
+        degrade=False if args.no_degrade else None,
+    )
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     scale = args.scale if args.scale is not None else exp.default_scale()
     rows = []
@@ -213,6 +260,7 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 
 
 def _cmd_filter(args: argparse.Namespace) -> int:
+    _apply_supervision(args)
     scale = args.scale if args.scale is not None else exp.default_scale()
     study = make_study(args.dataset, scale=scale)
     network = study.network()
@@ -237,6 +285,7 @@ def _cmd_filter(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    _apply_supervision(args)
     scale = args.scale if args.scale is not None else exp.default_scale()
     bundle = prepare_dataset(args.dataset, scale=scale)
     analysis = analyze_filter(
@@ -275,6 +324,7 @@ def _canonical_json(payload: dict) -> str:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import ReproServer  # deferred: the daemon is opt-in
 
+    _apply_supervision(args)
     scale = args.scale if args.scale is not None else exp.default_scale()
     preload = tuple(_split(args.preload))
     server = ReproServer(
@@ -304,16 +354,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_port_file(path: str, retries: int) -> int:
+    """Read the daemon's port file, waiting for it to appear when asked to.
+
+    A daemon started with ``repro serve --port-file ... &`` writes the file
+    only once it is listening; retrying the read (missing or still-empty
+    file) with seeded backoff lets a request race that startup safely.
+    """
+    rng = random.Random(0)
+    attempt = 0
+    while True:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                text = fh.read().strip()
+            if not text:
+                raise OSError(f"port file {path} is empty")
+            return int(text)
+        except (OSError, ValueError):
+            if attempt >= retries:
+                raise
+            attempt += 1
+            delay = min(2.0, 0.05 * 2 ** (attempt - 1))
+            time.sleep(delay * (0.5 + 0.5 * rng.random()))
+
+
 def _cmd_request(args: argparse.Namespace) -> int:
     from .serve import ServeClient, ServeError, ServeTimeout  # deferred
 
-    port = args.port
-    if port is None and args.port_file:
-        with open(args.port_file, encoding="utf-8") as fh:
-            port = int(fh.read().strip())
-    if port is None:
-        print("repro request: --port or --port-file is required", file=sys.stderr)
-        return 2
+    connect_retries = max(0, args.connect_retries)
     try:
         params = json.loads(args.params)
     except ValueError as err:
@@ -322,10 +390,22 @@ def _cmd_request(args: argparse.Namespace) -> int:
     if not isinstance(params, dict):
         print("repro request: --params must be a JSON object", file=sys.stderr)
         return 2
+    port = args.port
     try:
-        with ServeClient(host=args.host, port=port, timeout=args.timeout) as client:
+        if port is None and args.port_file:
+            port = _read_port_file(args.port_file, connect_retries)
+        if port is None:
+            print("repro request: --port or --port-file is required", file=sys.stderr)
+            return 2
+        with ServeClient(
+            host=args.host,
+            port=port,
+            timeout=args.timeout,
+            connect_retries=connect_retries,
+            max_retries=max(0, args.retries),
+        ) as client:
             result = client.result(args.op, **params)
-    except (ServeError, ServeTimeout, OSError) as err:
+    except (ServeError, ServeTimeout, OSError, ValueError) as err:
         print(f"repro request: {err}", file=sys.stderr)
         return 1
     print(_canonical_json(result) if isinstance(result, dict) else json.dumps(result))

@@ -44,8 +44,14 @@ from ..graph.csr import CSRGraph
 from ..graph.graph import Graph, edge_key
 from ..graph.partition import Partition
 from ..parallel.comm import SimComm
-from ..parallel.runner import available_backends, run_spmd
-from ..parallel.shm import arena_scope, owned_arena
+from ..parallel.runner import (
+    _record_event,
+    available_backends,
+    pop_supervision_events,
+    run_spmd,
+    supervision_policy,
+)
+from ..parallel.shm import ArenaError, arena_scope, owned_arena
 from ..parallel.timing import RankWork
 from .chordal import chordal_subgraph_edge_indices, edge_insertion_preserves_chordality
 from .parallel_nocomm import resolve_index_partition
@@ -306,39 +312,59 @@ def parallel_chordal_comm_filter(
     ]
 
     resolved_backend = backend or ("thread" if ipart.n_parts > 1 else "serial")
+    rank_values = None
+    effective_backend = resolved_backend
     if resolved_backend == "process-shm":
-        # Export the whole graph's buffers once; each rank process receives
-        # segment names plus its slice bounds and derives its own subgraph.
-        with owned_arena() as arena, arena_scope(arena):
-            parts_flat, parts_offsets = ipart.flat_parts()
-            payload = arena.export_bundle(
+        try:
+            # Export the whole graph's buffers once; each rank process
+            # receives segment names plus its slice bounds and derives its
+            # own subgraph.
+            with owned_arena() as arena, arena_scope(arena):
+                parts_flat, parts_offsets = ipart.flat_parts()
+                payload = arena.export_bundle(
+                    {
+                        "indptr": csr.indptr,
+                        "indices": csr.indices,
+                        "parts_flat": parts_flat,
+                        "parts_offsets": parts_offsets,
+                        "position": position,
+                    }
+                )
+                rank_args = [
+                    (payload, rank, by_peer_per_rank[rank], strict_order)
+                    for rank in range(ipart.n_parts)
+                ]
+                report = run_spmd(
+                    _rank_function_shm,
+                    ipart.n_parts,
+                    rank_args=rank_args,
+                    backend="process-shm",
+                )
+            rank_values = [
                 {
-                    "indptr": csr.indptr,
-                    "indices": csr.indices,
-                    "parts_flat": parts_flat,
-                    "parts_offsets": parts_offsets,
-                    "position": position,
+                    "local_edges": [tuple(e) for e in out["local_edges"].tolist()],
+                    "accepted_border": [tuple(e) for e in out["accepted_border"].tolist()],
+                    "work": out["work"],
+                }
+                for out in report.values
+            ]
+        except (ArenaError, OSError) as exc:
+            # The arena substrate failed before (or instead of) the SPMD
+            # round — the pickled ``process`` path computes the identical
+            # result, so fall back instead of failing the filter.
+            if not supervision_policy().degrade:
+                raise
+            _record_event(
+                {
+                    "action": "degrade",
+                    "entry": "parallel_chordal_comm_filter",
+                    "backend": "process-shm",
+                    "to": "process",
+                    "error": f"{type(exc).__name__}: {exc}",
                 }
             )
-            rank_args = [
-                (payload, rank, by_peer_per_rank[rank], strict_order)
-                for rank in range(ipart.n_parts)
-            ]
-            report = run_spmd(
-                _rank_function_shm,
-                ipart.n_parts,
-                rank_args=rank_args,
-                backend="process-shm",
-            )
-        rank_values = [
-            {
-                "local_edges": [tuple(e) for e in out["local_edges"].tolist()],
-                "accepted_border": [tuple(e) for e in out["accepted_border"].tolist()],
-                "work": out["work"],
-            }
-            for out in report.values
-        ]
-    else:
+            effective_backend = "process"
+    if rank_values is None:
         rank_args = []
         for rank in range(ipart.n_parts):
             part_idx = ipart.part_indices(rank)
@@ -354,7 +380,7 @@ def parallel_chordal_comm_filter(
                 )
             )
         report = run_spmd(
-            _rank_function, ipart.n_parts, rank_args=rank_args, backend=resolved_backend
+            _rank_function, ipart.n_parts, rank_args=rank_args, backend=effective_backend
         )
         rank_values = report.values
 
@@ -382,6 +408,7 @@ def parallel_chordal_comm_filter(
     filtered = graph.spanning_subgraph(kept_edges)
     wall = time.perf_counter() - start
 
+    supervision = pop_supervision_events()
     result = FilterResult(
         graph=filtered,
         original=graph,
@@ -398,6 +425,10 @@ def parallel_chordal_comm_filter(
             "strict_order": strict_order,
             "comm_stats": report.total_stats(),
             "backend": resolved_backend,
+            # Supervision events (retries/degrades) ride in ``extra`` only:
+            # the canonical filter payload excludes ``extra``, so a faulted
+            # run that recovered stays byte-identical to a clean one.
+            **({"supervision": supervision} if supervision else {}),
         },
     )
     result.compute_simulated_time(with_communication=True)

@@ -52,8 +52,14 @@ from ..graph.partition import (
     block_partition_indices,
     index_partition_graph,
 )
-from ..parallel.runner import available_backends, parallel_map
-from ..parallel.shm import attach, owned_arena
+from ..parallel.runner import (
+    _record_event,
+    available_backends,
+    parallel_map,
+    pop_supervision_events,
+    supervision_policy,
+)
+from ..parallel.shm import ArenaError, attach, owned_arena
 from ..parallel.timing import RankWork
 from .chordal import chordal_edges_from_csr, chordal_subgraph_edge_indices
 from .results import FilterResult
@@ -577,9 +583,28 @@ def parallel_chordal_nocomm_filter(
     ipart = resolve_index_partition(csr, n_partitions, partition_method, partition, perm)
     position = priority_from_permutation(perm, csr.n_vertices)
 
+    rank_outputs = None
+    effective_backend = backend
     if backend == "process-shm":
-        rank_outputs = _run_ranks_shm(csr, ipart, position, strict_order, processes)
-    else:
+        try:
+            rank_outputs = _run_ranks_shm(csr, ipart, position, strict_order, processes)
+        except (ArenaError, OSError) as exc:
+            # The shared-memory substrate failed before any rank ran (arena
+            # creation or export) — the pickled ``process`` path computes the
+            # identical result, so fall back instead of failing the filter.
+            if not supervision_policy().degrade:
+                raise
+            _record_event(
+                {
+                    "action": "degrade",
+                    "entry": "parallel_chordal_nocomm_filter",
+                    "backend": "process-shm",
+                    "to": "process",
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            )
+            effective_backend = "process"
+    if rank_outputs is None:
         items = []
         assignment = ipart.assignment
         for rank in range(ipart.n_parts):
@@ -600,7 +625,7 @@ def parallel_chordal_nocomm_filter(
                 )
             )
         rank_outputs = parallel_map(
-            _rank_task_indices, items, backend=backend, processes=processes
+            _rank_task_indices, items, backend=effective_backend, processes=processes
         )
 
     all_local: list[IndexEdge] = []
@@ -636,6 +661,7 @@ def parallel_chordal_nocomm_filter(
     wall = time.perf_counter() - start
 
     border_subgraph = Graph(edges=accepted_border) if accepted_border else Graph()
+    supervision = pop_supervision_events()
     result = FilterResult(
         graph=filtered,
         original=graph,
@@ -654,6 +680,10 @@ def parallel_chordal_nocomm_filter(
             "cycles_removed_edges": removed_for_cycles,
             "border_cycle_sizes": cycle_basis_sizes(border_subgraph),
             "backend": backend,
+            # Supervision events (retries/degrades) ride in ``extra`` only:
+            # the canonical filter payload excludes ``extra``, so a faulted
+            # run that recovered stays byte-identical to a clean one.
+            **({"supervision": supervision} if supervision else {}),
         },
     )
     result.compute_simulated_time(with_communication=False)

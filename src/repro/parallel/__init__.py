@@ -12,12 +12,19 @@ the scalability study.
 from .comm import ANY_SOURCE, ANY_TAG, CommStats, ProcComm, SimComm, SimCommWorld
 from .rng import derive_seed, rank_rng, rank_rngs
 from .runner import (
+    DeadRankError,
     RankResult,
     SpmdReport,
+    SupervisionPolicy,
     available_backends,
+    configure_supervision,
     parallel_map,
+    pop_supervision_events,
+    reset_supervision_counters,
     run_spmd,
     shutdown_worker_pool,
+    supervision_counters,
+    supervision_policy,
     worker_pool_size,
 )
 from .shm import (
@@ -44,6 +51,13 @@ __all__ = [
     "available_backends",
     "shutdown_worker_pool",
     "worker_pool_size",
+    "DeadRankError",
+    "SupervisionPolicy",
+    "configure_supervision",
+    "supervision_policy",
+    "supervision_counters",
+    "reset_supervision_counters",
+    "pop_supervision_events",
     "SharedArena",
     "ArenaRef",
     "ArenaError",

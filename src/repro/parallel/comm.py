@@ -30,6 +30,8 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
 
+from ..faults import fault_point
+
 __all__ = ["CommStats", "SimCommWorld", "SimComm", "ProcComm", "ANY_SOURCE", "ANY_TAG"]
 
 #: Wildcard source rank for :meth:`SimComm.recv`.
@@ -163,6 +165,7 @@ class _MessagingComm:
         """Send ``obj`` to rank ``dest`` with ``tag`` (buffered, never blocks)."""
         if not 0 <= dest < self.size:
             raise ValueError(f"destination rank {dest} out of range")
+        fault_point("comm.send", rank=self.rank, dest=dest, tag=tag)
         self.stats.messages_sent += 1
         self.stats.items_sent += _payload_items(obj)
         self._put(dest, _Message(self.rank, tag, obj))
@@ -172,6 +175,7 @@ class _MessagingComm:
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
         """Receive one message matching ``(source, tag)``; blocks until available."""
+        fault_point("comm.recv", rank=self.rank, source=source, tag=tag)
         matched = self._take_matching(source, tag)
         self.stats.messages_received += 1
         self.stats.items_received += _payload_items(matched.payload)
@@ -223,6 +227,7 @@ class _MessagingComm:
     # ------------------------------------------------------------------
     def barrier(self) -> None:
         """Block until every rank reaches the barrier."""
+        fault_point("comm.barrier", rank=self.rank)
         self.stats.barriers += 1
         self._barrier_wait()
 

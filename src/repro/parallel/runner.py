@@ -34,26 +34,61 @@ need and grown **in place** when a larger request arrives — warm
 interpreters are never discarded — torn down by
 :func:`shutdown_worker_pool` (the batch engine calls it at the end of every
 batch / worker group) and cleaned up at interpreter exit.
+
+Failure supervision
+-------------------
+Both entry points run under a supervising retry policy (see
+:class:`SupervisionPolicy` / :func:`configure_supervision`).  Two classes of
+*infrastructure* failure are distinguished from ordinary errors in user code,
+which always propagate untouched:
+
+* **retryable** — a pool worker or SPMD rank died mid-flight
+  (:class:`WorkerPoolError`, :class:`DeadRankError`).  The broken pool is
+  torn down and the failed chunk (or the whole deterministic SPMD round) is
+  retried on a *fresh* pool, same backend, up to ``max_retries`` times with
+  seeded jittered exponential backoff.  These never degrade the backend: a
+  payload that kills its worker would take the host process down with it on
+  the thread/serial backends.
+* **degradable** — the backend's substrate could not be brought up at all
+  (pool spawn failure, shared-memory arena creation/export failure).  After
+  retries are exhausted the supervisor steps down the degradation ladder
+  ``process-shm → process → thread → serial`` (stopping at ``thread`` for
+  SPMD, whose serial backend cannot service blocking receives) and retries
+  there; the step-down is recorded in the supervision event log
+  (:func:`pop_supervision_events`) and the global counters surfaced by
+  ``repro serve`` stats.
 """
 
 from __future__ import annotations
 
 import atexit
 import multiprocessing
+import os
 import queue
+import random
+import signal
 import threading
+import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
 
+from ..faults import current_plan, fault_point
 from .comm import CommStats, ProcComm, SimCommWorld
-from .shm import export_payload, owned_arena, resolve_payload
+from .shm import ArenaError, export_payload, owned_arena, resolve_payload
 
 __all__ = [
     "RankResult",
     "SpmdReport",
     "WorkerPoolError",
+    "DeadRankError",
+    "SupervisionPolicy",
+    "configure_supervision",
+    "supervision_policy",
+    "pop_supervision_events",
+    "supervision_counters",
+    "reset_supervision_counters",
     "run_spmd",
     "parallel_map",
     "available_backends",
@@ -69,9 +104,21 @@ class WorkerPoolError(RuntimeError):
     holding, so an unchecked ``pool.map`` would block forever — the same
     failure mode :func:`_spawn_and_collect` detects for SPMD ranks.  The
     checked map raises this instead and tears the broken pool down, so the
-    caller (one request of the resident service, one batch run) fails cleanly
-    and the next call respawns a fresh pool.
+    caller fails cleanly (or, under the default supervision policy, the map
+    is retried on a fresh pool) and the next call respawns a fresh pool.
     """
+
+
+class DeadRankError(RuntimeError):
+    """An SPMD rank process died without reporting a result.
+
+    The process-backend equivalent of :class:`WorkerPoolError`: the rank was
+    OOM-killed or segfaulted, so no error payload ever reached the parent.
+    Distinct from an ordinary rank *error* (which re-raises the child
+    traceback and is never retried): a dead rank is an infrastructure
+    failure, and the whole deterministic SPMD round is eligible for retry.
+    """
+
 
 RankFn = Callable[..., Any]
 
@@ -82,6 +129,206 @@ RankFn = Callable[..., Any]
 #: and protocol deadlocks surface as errors from the communicator's own
 #: ``RECV_TIMEOUT`` inside the rank.
 SPMD_DRAIN_TIMEOUT = 10.0
+
+
+# ----------------------------------------------------------------------
+# supervision policy, events and counters
+# ----------------------------------------------------------------------
+@dataclass
+class SupervisionPolicy:
+    """Retry/degradation policy applied by :func:`parallel_map` / :func:`run_spmd`.
+
+    ``max_retries`` bounds the *extra* attempts per ladder rung (0 restores
+    the pre-supervision fail-fast behaviour).  ``degrade`` enables the
+    backend step-down ladder for degradable infrastructure failures.  The
+    backoff between attempts is exponential with seeded jitter:
+    ``min(backoff_max, backoff_base * backoff_factor**(attempt-1))`` scaled
+    by a uniform factor in ``[0.5, 1.0)`` drawn from ``Random(seed)`` — so a
+    retry storm from many supervised callers decorrelates, yet any single
+    run's schedule is reproducible.
+    """
+
+    max_retries: int = 2
+    degrade: bool = True
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    seed: int = 0
+
+
+_policy = SupervisionPolicy()
+_policy_lock = threading.Lock()
+
+_supervision_tls = threading.local()
+_counters_lock = threading.Lock()
+_counters = {"retries": 0, "degrades": 0}
+
+
+def configure_supervision(
+    max_retries: Optional[int] = None,
+    degrade: Optional[bool] = None,
+    backoff_base: Optional[float] = None,
+    backoff_factor: Optional[float] = None,
+    backoff_max: Optional[float] = None,
+    seed: Optional[int] = None,
+) -> SupervisionPolicy:
+    """Update the process-wide :class:`SupervisionPolicy` (None = keep current)."""
+    global _policy
+    with _policy_lock:
+        p = _policy
+        _policy = SupervisionPolicy(
+            max_retries=p.max_retries if max_retries is None else max(0, int(max_retries)),
+            degrade=p.degrade if degrade is None else bool(degrade),
+            backoff_base=p.backoff_base if backoff_base is None else float(backoff_base),
+            backoff_factor=p.backoff_factor if backoff_factor is None else float(backoff_factor),
+            backoff_max=p.backoff_max if backoff_max is None else float(backoff_max),
+            seed=p.seed if seed is None else int(seed),
+        )
+        return _policy
+
+
+def supervision_policy() -> SupervisionPolicy:
+    """The current process-wide supervision policy."""
+    with _policy_lock:
+        return _policy
+
+
+def pop_supervision_events() -> list[dict[str, Any]]:
+    """Drain the calling thread's supervision event log (empty when clean).
+
+    Each event is a dict: ``{"action": "retry"|"degrade", "entry":
+    "parallel_map"|"run_spmd", "backend": ..., "error": ...}`` plus
+    ``"attempt"`` for retries and ``"to"`` for degrades.  Events accumulate
+    per thread so concurrent serve workers don't interleave; callers that
+    surface them (the filter engines) drain right after their supervised
+    calls return.
+    """
+    events = getattr(_supervision_tls, "events", None)
+    _supervision_tls.events = []
+    return events or []
+
+
+def supervision_counters() -> dict[str, int]:
+    """Process-wide totals of supervision actions (for serve ``stats``)."""
+    with _counters_lock:
+        return dict(_counters)
+
+
+def reset_supervision_counters() -> None:
+    with _counters_lock:
+        for key in _counters:
+            _counters[key] = 0
+
+
+def _record_event(event: dict[str, Any]) -> None:
+    events = getattr(_supervision_tls, "events", None)
+    if events is None:
+        events = _supervision_tls.events = []
+    events.append(event)
+    counter = "retries" if event["action"] == "retry" else "degrades"
+    with _counters_lock:
+        _counters[counter] += 1
+
+
+class _DegradableFailure(Exception):
+    """Internal wrapper marking an infrastructure failure as ladder-eligible.
+
+    Raised only around substrate bring-up (pool spawn, arena create/export),
+    never around user code — so a user function that happens to raise
+    ``OSError`` propagates normally instead of being degraded to serial.
+    """
+
+    def __init__(self, original: BaseException) -> None:
+        super().__init__(str(original))
+        self.original = original
+
+
+#: Exceptions that mark substrate bring-up as failed (ArenaError covers the
+#: shared-memory layer; OSError covers spawn/shm-create syscall failures,
+#: including FileNotFoundError from a vanished segment).
+_DEGRADABLE_EXC = (ArenaError, OSError)
+
+
+def _degradation_ladder(backend: str, floor: str = "serial") -> list[str]:
+    """The backends to fall through, starting at the requested one."""
+    order = available_backends()[::-1]  # process-shm, process, thread, serial
+    start = order.index(backend)
+    stop = order.index(floor)
+    return order[start : stop + 1] if stop >= start else [backend]
+
+
+def _backoff_sleep(rng: random.Random, policy: SupervisionPolicy, attempt: int) -> None:
+    delay = min(policy.backoff_max, policy.backoff_base * policy.backoff_factor ** (attempt - 1))
+    time.sleep(delay * (0.5 + 0.5 * rng.random()))
+
+
+def _supervise(
+    entry: str,
+    backend: str,
+    ladder: list[str],
+    attempt_fn: Callable[[str], Any],
+    max_retries: Optional[int],
+    degrade: Optional[bool],
+) -> Any:
+    """Run ``attempt_fn(backend)`` under the retry/degradation policy.
+
+    Retryable failures (dead worker/rank) retry the same backend only;
+    degradable failures (substrate bring-up) retry, then step down the
+    ladder.  Everything else — user-code errors, rank errors carrying a
+    child traceback — propagates on the first occurrence.
+    """
+    policy = supervision_policy()
+    retries = policy.max_retries if max_retries is None else max(0, int(max_retries))
+    degrade_ok = policy.degrade if degrade is None else bool(degrade)
+    rng = random.Random(policy.seed)
+    idx = 0
+    attempts = 0
+    while True:
+        current = ladder[idx]
+        try:
+            return attempt_fn(current)
+        except (WorkerPoolError, DeadRankError) as exc:
+            if attempts >= retries:
+                raise
+            attempts += 1
+            _record_event(
+                {
+                    "action": "retry",
+                    "entry": entry,
+                    "backend": current,
+                    "attempt": attempts,
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            )
+            _backoff_sleep(rng, policy, attempts)
+        except _DegradableFailure as exc:
+            error = f"{type(exc.original).__name__}: {exc.original}"
+            if attempts < retries:
+                attempts += 1
+                _record_event(
+                    {
+                        "action": "retry",
+                        "entry": entry,
+                        "backend": current,
+                        "attempt": attempts,
+                        "error": error,
+                    }
+                )
+                _backoff_sleep(rng, policy, attempts)
+            elif degrade_ok and idx + 1 < len(ladder):
+                _record_event(
+                    {
+                        "action": "degrade",
+                        "entry": entry,
+                        "backend": current,
+                        "to": ladder[idx + 1],
+                        "error": error,
+                    }
+                )
+                idx += 1
+                attempts = 0
+            else:
+                raise exc.original from exc.original.__cause__
 
 
 @dataclass
@@ -129,8 +376,15 @@ def _spmd_process_child(
     extra: tuple[Any, ...],
     args: tuple[Any, ...],
     kwargs: dict[str, Any],
+    die: bool = False,
 ) -> None:
-    """Body of one SPMD rank process: build the comm, run ``fn``, report back."""
+    """Body of one SPMD rank process: build the comm, run ``fn``, report back.
+
+    ``die`` is the fault plane's ``kill_rank`` switch: the rank SIGKILLs
+    itself before touching the communicator, exactly like an OOM-killed rank.
+    """
+    if die:
+        os.kill(os.getpid(), signal.SIGKILL)
     comm = ProcComm(rank, n_ranks, queues, barrier)
     try:
         value = fn(comm, *resolve_payload(extra), *args, **kwargs)
@@ -153,9 +407,19 @@ def _run_spmd_processes(
         tuple(rank_args[r]) if rank_args is not None else () for r in range(n_ranks)
     ]
     if use_shm:
-        with owned_arena() as arena:
-            payloads = [export_payload(p, arena) for p in payloads]
+        try:
+            arena_ctx = owned_arena()
+            arena = arena_ctx.__enter__()
+        except _DEGRADABLE_EXC as exc:
+            raise _DegradableFailure(exc) from exc
+        try:
+            try:
+                payloads = [export_payload(p, arena) for p in payloads]
+            except _DEGRADABLE_EXC as exc:
+                raise _DegradableFailure(exc) from exc
             return _spawn_and_collect(fn, n_ranks, args, kwargs, payloads)
+        finally:
+            arena_ctx.__exit__(None, None, None)
     return _spawn_and_collect(fn, n_ranks, args, kwargs, payloads)
 
 
@@ -170,28 +434,42 @@ def _spawn_and_collect(
 
     A rank may compute for as long as it stays alive — the failure modes
     detected here are a rank *error* (re-raised with the child traceback)
-    and rank *death* without a result; protocol deadlocks are converted
-    into errors inside the rank by the communicator's ``RECV_TIMEOUT``.
+    and rank *death* without a result (:class:`DeadRankError`); protocol
+    deadlocks are converted into errors inside the rank by the
+    communicator's ``RECV_TIMEOUT``.
     """
+    kill_ranks: set[int] = set()
+    fault_point("spmd.ranks", kill_ranks=kill_ranks, n_ranks=n_ranks)
     ctx = multiprocessing.get_context("spawn")
-    queues = [ctx.Queue() for _ in range(n_ranks)]
-    result_queue = ctx.Queue()
-    barrier = ctx.Barrier(n_ranks)
-    procs = [
-        ctx.Process(
-            target=_spmd_process_child,
-            args=(r, n_ranks, queues, barrier, result_queue, fn, payloads[r], args, kwargs),
-            name=f"spmd-rank-{r}",
-            daemon=True,
-        )
-        for r in range(n_ranks)
-    ]
-    for p in procs:
-        p.start()
-    values: list[Any] = [None] * n_ranks
-    stats: list[CommStats] = [CommStats() for _ in range(n_ranks)]
-    reported = [False] * n_ranks
     try:
+        queues = [ctx.Queue() for _ in range(n_ranks)]
+        result_queue = ctx.Queue()
+        barrier = ctx.Barrier(n_ranks)
+        procs = [
+            ctx.Process(
+                target=_spmd_process_child,
+                args=(
+                    r, n_ranks, queues, barrier, result_queue, fn,
+                    payloads[r], args, kwargs, r in kill_ranks,
+                ),
+                name=f"spmd-rank-{r}",
+                daemon=True,
+            )
+            for r in range(n_ranks)
+        ]
+    except _DEGRADABLE_EXC as exc:
+        raise _DegradableFailure(exc) from exc
+    started: list[Any] = []
+    try:
+        try:
+            for p in procs:
+                p.start()
+                started.append(p)
+        except _DEGRADABLE_EXC as exc:
+            raise _DegradableFailure(exc) from exc
+        values: list[Any] = [None] * n_ranks
+        stats: list[CommStats] = [CommStats() for _ in range(n_ranks)]
+        reported = [False] * n_ranks
         collected = 0
         while collected < n_ranks:
             try:
@@ -211,7 +489,7 @@ def _spawn_and_collect(
                 try:
                     item = result_queue.get(timeout=SPMD_DRAIN_TIMEOUT)
                 except queue.Empty:
-                    raise RuntimeError(
+                    raise DeadRankError(
                         f"SPMD process backend: rank(s) {dead_unreported} died "
                         f"without reporting a result"
                     ) from None
@@ -226,61 +504,23 @@ def _spawn_and_collect(
             reported[rank] = True
             collected += 1
     finally:
-        for p in procs:
+        for p in started:
             if p.is_alive():
                 p.terminate()
-        for p in procs:
+        for p in started:
             p.join(timeout=10.0)
     return values, stats
 
 
-def run_spmd(
+def _run_spmd_backend(
     fn: RankFn,
     n_ranks: int,
-    args: Optional[Sequence[Any]] = None,
-    kwargs: Optional[dict[str, Any]] = None,
-    rank_args: Optional[Sequence[Sequence[Any]]] = None,
-    backend: str = "thread",
+    args: tuple[Any, ...],
+    kwargs: dict[str, Any],
+    rank_args: Optional[Sequence[Sequence[Any]]],
+    backend: str,
 ) -> SpmdReport:
-    """Execute ``fn(comm, *args, **kwargs)`` on ``n_ranks`` simulated ranks.
-
-    Parameters
-    ----------
-    fn:
-        The rank function.  Its first positional argument is the rank's
-        communicator endpoint (:class:`SimComm` on the ``serial``/``thread``
-        backends, :class:`ProcComm` on the process backends); the remaining
-        arguments are ``rank_args[rank]`` (if supplied) followed by the
-        shared ``args`` / ``kwargs``.
-    rank_args:
-        Optional per-rank positional arguments (length must equal ``n_ranks``),
-        typically the rank's partition data.  Any
-        :class:`~repro.parallel.shm.ArenaRef` inside is resolved to its array
-        view in the rank process; with ``backend="process-shm"`` plain numpy
-        arrays are additionally exported through a shared arena first.
-    backend:
-        One of :func:`available_backends`.  ``"serial"`` runs ranks
-        sequentially (any blocking receive on a message that was not already
-        sent raises); ``"thread"`` (default) supports messaging in-process;
-        ``"process"`` / ``"process-shm"`` run each rank on a real core (``fn``,
-        payloads and results must be picklable).
-
-    Returns
-    -------
-    SpmdReport with per-rank values and communication statistics.
-
-    Raises
-    ------
-    The first exception raised by any rank is re-raised in the caller after
-    all ranks have terminated, so failures in rank code are never swallowed.
-    """
-    if n_ranks < 1:
-        raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
-    if rank_args is not None and len(rank_args) != n_ranks:
-        raise ValueError("rank_args must supply one tuple per rank")
-    args = tuple(args or ())
-    kwargs = dict(kwargs or {})
-
+    """One un-supervised SPMD attempt on ``backend`` (see :func:`run_spmd`)."""
     if backend in ("process", "process-shm"):
         values, stats = _run_spmd_processes(
             fn, n_ranks, args, kwargs, rank_args, use_shm=(backend == "process-shm")
@@ -323,6 +563,76 @@ def run_spmd(
     return SpmdReport(results=results, n_ranks=n_ranks, backend=backend)
 
 
+def run_spmd(
+    fn: RankFn,
+    n_ranks: int,
+    args: Optional[Sequence[Any]] = None,
+    kwargs: Optional[dict[str, Any]] = None,
+    rank_args: Optional[Sequence[Sequence[Any]]] = None,
+    backend: str = "thread",
+    max_retries: Optional[int] = None,
+    degrade: Optional[bool] = None,
+) -> SpmdReport:
+    """Execute ``fn(comm, *args, **kwargs)`` on ``n_ranks`` simulated ranks.
+
+    Parameters
+    ----------
+    fn:
+        The rank function.  Its first positional argument is the rank's
+        communicator endpoint (:class:`SimComm` on the ``serial``/``thread``
+        backends, :class:`ProcComm` on the process backends); the remaining
+        arguments are ``rank_args[rank]`` (if supplied) followed by the
+        shared ``args`` / ``kwargs``.
+    rank_args:
+        Optional per-rank positional arguments (length must equal ``n_ranks``),
+        typically the rank's partition data.  Any
+        :class:`~repro.parallel.shm.ArenaRef` inside is resolved to its array
+        view in the rank process; with ``backend="process-shm"`` plain numpy
+        arrays are additionally exported through a shared arena first.
+    backend:
+        One of :func:`available_backends`.  ``"serial"`` runs ranks
+        sequentially (any blocking receive on a message that was not already
+        sent raises); ``"thread"`` (default) supports messaging in-process;
+        ``"process"`` / ``"process-shm"`` run each rank on a real core (``fn``,
+        payloads and results must be picklable).
+    max_retries, degrade:
+        Per-call overrides of the process-wide :class:`SupervisionPolicy`.
+        A dead rank (:class:`DeadRankError`) retries the whole round — one
+        SPMD round is a deterministic unit, so a clean rerun produces the
+        identical result; substrate bring-up failures degrade the backend
+        down to ``thread`` (never ``serial``: blocking receives need live
+        peers).  The report's ``backend`` field records the backend that
+        actually ran.
+
+    Returns
+    -------
+    SpmdReport with per-rank values and communication statistics.
+
+    Raises
+    ------
+    The first exception raised by any rank is re-raised in the caller after
+    all ranks have terminated, so failures in rank code are never swallowed.
+    """
+    if n_ranks < 1:
+        raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+    if rank_args is not None and len(rank_args) != n_ranks:
+        raise ValueError("rank_args must supply one tuple per rank")
+    if backend not in available_backends():
+        raise ValueError(f"unknown backend {backend!r}; expected one of {available_backends()}")
+    args = tuple(args or ())
+    kwargs = dict(kwargs or {})
+
+    ladder = _degradation_ladder(backend, floor="thread" if backend != "serial" else "serial")
+    return _supervise(
+        "run_spmd",
+        backend,
+        ladder,
+        lambda b: _run_spmd_backend(fn, n_ranks, args, kwargs, rank_args, b),
+        max_retries,
+        degrade,
+    )
+
+
 def _call_star(payload: tuple[Callable[..., Any], tuple[Any, ...]]) -> Any:
     fn, item_args = payload
     return fn(*resolve_payload(item_args))
@@ -347,6 +657,7 @@ def _get_worker_pool(n_workers: int) -> multiprocessing.pool.Pool:
     n_workers = max(n_workers, 1)
     with _worker_pool_lock:
         if _worker_pool is None:
+            fault_point("pool.spawn", n_workers=n_workers)
             _worker_pool = multiprocessing.get_context("spawn").Pool(n_workers)
             _worker_pool_size = n_workers
         elif n_workers > _worker_pool_size:
@@ -395,6 +706,8 @@ def parallel_map(
     items: Sequence[Sequence[Any]],
     backend: str = "serial",
     processes: Optional[int] = None,
+    max_retries: Optional[int] = None,
+    degrade: Optional[bool] = None,
 ) -> list[Any]:
     """Apply ``fn(*item)`` to every item, optionally in parallel.
 
@@ -418,26 +731,57 @@ def parallel_map(
     On every backend, :class:`~repro.parallel.shm.ArenaRef` values inside the
     items are resolved to their arrays before ``fn`` runs.  The result order
     always matches the input order.
+
+    ``max_retries`` / ``degrade`` override the process-wide
+    :class:`SupervisionPolicy` for this call: a :class:`WorkerPoolError`
+    retries the map on a freshly spawned pool (same backend); pool-spawn or
+    arena failures degrade ``process-shm → process → thread → serial``.
     """
+    if backend not in available_backends():
+        raise ValueError(f"unknown backend {backend!r}; expected one of {available_backends()}")
     payloads = [(fn, tuple(item)) for item in items]
     if backend == "serial":
         return [_call_star(p) for p in payloads]
+    if not payloads:
+        return []
+    return _supervise(
+        "parallel_map",
+        backend,
+        _degradation_ladder(backend),
+        lambda b: _map_backend(payloads, b, processes),
+        max_retries,
+        degrade,
+    )
+
+
+def _map_backend(
+    payloads: list[tuple[Callable[..., Any], tuple[Any, ...]]],
+    backend: str,
+    processes: Optional[int],
+) -> list[Any]:
+    """One un-supervised map attempt on ``backend``."""
+    if backend == "serial":
+        return [_call_star(p) for p in payloads]
     if backend == "thread":
-        if not payloads:
-            return []
         n_threads = processes or min(len(payloads), 32)
         with ThreadPoolExecutor(max_workers=max(1, n_threads)) as pool:
             return list(pool.map(_call_star, payloads))
-    if backend in ("process", "process-shm"):
-        if not payloads:
-            return []
-        n_workers = processes or min(len(items), multiprocessing.cpu_count()) or 1
-        if backend == "process":
-            return _pool_map(payloads, processes, n_workers)
-        with owned_arena() as arena:
-            payloads = [(fn, export_payload(item_args, arena)) for fn, item_args in payloads]
-            return _pool_map(payloads, processes, n_workers)
-    raise ValueError(f"unknown backend {backend!r}; expected one of {available_backends()}")
+    n_workers = processes or min(len(payloads), multiprocessing.cpu_count()) or 1
+    if backend == "process":
+        return _pool_map(payloads, processes, n_workers)
+    try:
+        arena_ctx = owned_arena()
+        arena = arena_ctx.__enter__()
+    except _DEGRADABLE_EXC as exc:
+        raise _DegradableFailure(exc) from exc
+    try:
+        try:
+            shm_payloads = [(fn, export_payload(item_args, arena)) for fn, item_args in payloads]
+        except _DEGRADABLE_EXC as exc:
+            raise _DegradableFailure(exc) from exc
+        return _pool_map(shm_payloads, processes, n_workers)
+    finally:
+        arena_ctx.__exit__(None, None, None)
 
 
 def _pool_map(
@@ -452,7 +796,10 @@ def _pool_map(
     callers use the bound to cap resident memory (one sliced subgraph per
     in-flight rank), so it must hold even though the warm pool is larger.
     """
-    pool = _get_worker_pool(n_workers)
+    try:
+        pool = _get_worker_pool(n_workers)
+    except _DEGRADABLE_EXC as exc:
+        raise _DegradableFailure(exc) from exc
     if processes is None or processes >= len(payloads):
         return _map_checked(pool, payloads)
     results: list[Any] = []
@@ -481,6 +828,11 @@ def _map_checked(
     is torn down (so the next call starts fresh) and :class:`WorkerPoolError`
     is raised.
     """
+    if current_plan() is not None:
+        # Copy before poisoning so a ``kill_task`` fault is scoped to this
+        # dispatch: the supervisor's retry resubmits the clean payloads.
+        payloads = list(payloads)
+        fault_point("pool.dispatch", payloads=payloads)
     try:
         workers = list(pool._pool)
     except AttributeError:  # pragma: no cover - unknown Pool internals

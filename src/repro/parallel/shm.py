@@ -42,6 +42,8 @@ from typing import Any, Iterator, Mapping, Optional
 
 import numpy as np
 
+from ..faults import fault_point
+
 __all__ = [
     "ArenaError",
     "ArenaRef",
@@ -154,6 +156,7 @@ class SharedArena:
         the fast path for a filter's per-graph payload.  Already-exported
         arrays reuse their cached refs; ``None`` values pass through.
         """
+        fault_point("arena.export", n_arrays=len(arrays))
         with self._lock:
             if self._closed or self._unlinked:
                 raise ArenaError("cannot export into a closed/unlinked arena")
@@ -391,6 +394,7 @@ def attach(ref: ArenaRef) -> np.ndarray:
         empty = np.empty(ref.shape, dtype=np.dtype(ref.dtype))
         empty.setflags(write=False)
         return empty
+    fault_point("arena.attach", name=ref.name)
     seg = _segment(ref.name)
     view = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=seg.buf, offset=ref.offset)
     view.setflags(write=False)

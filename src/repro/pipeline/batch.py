@@ -30,11 +30,13 @@ import inspect
 import json
 import math
 import os
+import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Optional, Sequence
 
+from ..faults import fault_point
 from ..parallel.rng import derive_seed
 from ..parallel.runner import shutdown_worker_pool
 from ..parallel.shm import arena_scope
@@ -333,13 +335,63 @@ def _cache_file(cache_dir: str, spec: RunSpec, spec_hash: str) -> str:
     return os.path.join(cache_dir, f"{spec.figure}__{spec_hash}.json")
 
 
-def _load_cache(path: str) -> Optional[dict[str, Any]]:
+def _quarantine_cache(path: str, reason: str) -> None:
+    """Move an unreadable cache entry aside (``.corrupt``) and log it.
+
+    A half-written or truncated entry must not poison every future resume of
+    the sweep, and silently deleting it would hide the evidence — the rename
+    keeps the bytes for inspection while freeing the slot for a clean rerun.
+    """
+    quarantined = path + ".corrupt"
     try:
+        os.replace(path, quarantined)
+    except OSError:
+        quarantined = "<rename failed>"
+    print(
+        f"repro batch: quarantined corrupt cache entry {path} -> {quarantined} ({reason})",
+        file=sys.stderr,
+    )
+
+
+def _load_cache(path: str) -> Optional[dict[str, Any]]:
+    """Read one cache entry; a missing file is a miss, a corrupt one is quarantined."""
+    try:
+        fault_point("batch.cache_read", path=path)
         with open(path, "r", encoding="utf-8") as fh:
             data = json.load(fh)
-    except (OSError, ValueError):
+    except FileNotFoundError:
         return None
-    return data if isinstance(data, dict) and "output" in data else None
+    except (OSError, ValueError) as exc:
+        _quarantine_cache(path, f"{type(exc).__name__}: {exc}")
+        return None
+    if isinstance(data, dict) and "output" in data:
+        return data
+    _quarantine_cache(path, "unexpected structure")
+    return None
+
+
+def _write_cache(path: str, payload: dict[str, Any]) -> None:
+    """Crash-safe cache write: serialise to a tmp file, fsync, then rename.
+
+    ``os.replace`` is atomic on POSIX, so a reader (or a resumed sweep) only
+    ever sees the old entry or the complete new one — never the torn write
+    the old in-place ``json.dump`` could leave behind on a crash.
+    """
+    fault_point("batch.cache_write", path=path)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        fault_point("batch.cache_replace", path=path)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def run_batch(
@@ -437,8 +489,7 @@ def run_batch(
                 "seconds": out["seconds"],
             }
             if path is not None:
-                with open(path, "w", encoding="utf-8") as fh:
-                    json.dump(payload, fh, sort_keys=True)
+                _write_cache(path, payload)
             results[h] = BatchRunResult(
                 spec=spec,
                 spec_hash=h,

@@ -23,6 +23,8 @@ import threading
 from contextlib import nullcontext
 from typing import Any, Callable, ContextManager, Optional
 
+from ..faults import fault_point
+
 __all__ = ["BusyError", "ShuttingDownError", "Ticket", "AdmissionQueue"]
 
 
@@ -91,6 +93,7 @@ class AdmissionQueue:
         self.admitted = 0
         self.rejected = 0
         self.executed = 0
+        self.worker_respawns = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -160,6 +163,36 @@ class AdmissionQueue:
         """Admitted requests not yet picked up by a worker."""
         return self._queue.qsize()
 
+    @property
+    def alive_workers(self) -> int:
+        """Worker threads currently alive."""
+        with self._lock:
+            return sum(1 for t in self._threads if t.is_alive())
+
+    def respawn_dead(self) -> int:
+        """Replace dead worker threads with fresh ones; returns how many.
+
+        A worker thread can only die abnormally (an exception escaping the
+        loop — in practice injected by the fault plane, or a bug).  The
+        server's supervisor calls this periodically so a lost worker costs
+        one ticket, not a permanent slot of the executor.
+        """
+        with self._lock:
+            if self._closed or not self._started:
+                return 0
+            dead = [i for i, t in enumerate(self._threads) if not t.is_alive()]
+            fresh = []
+            for i in dead:
+                t = threading.Thread(
+                    target=self._worker_loop, name=f"serve-worker-{i}r", daemon=True
+                )
+                self._threads[i] = t
+                fresh.append(t)
+            self.worker_respawns += len(fresh)
+        for t in fresh:
+            t.start()
+        return len(fresh)
+
     def stats(self) -> dict[str, int]:
         with self._lock:
             return {
@@ -168,6 +201,8 @@ class AdmissionQueue:
                 "executed": self.executed,
                 "in_flight": self._in_flight,
                 "pending": self._queue.qsize(),
+                "workers_alive": sum(1 for t in self._threads if t.is_alive()),
+                "worker_respawns": self.worker_respawns,
             }
 
     # ------------------------------------------------------------------
@@ -179,6 +214,16 @@ class AdmissionQueue:
             while True:
                 ticket = self._queue.get()
                 if ticket is None:
+                    return
+                try:
+                    fault_point("serve.worker")
+                except BaseException as exc:
+                    # The injected failure stands in for a crashing worker
+                    # thread: fail the picked-up ticket (its waiter gets an
+                    # error, not a hang) and let the thread die — the
+                    # server's supervisor respawns it.
+                    ticket.error = exc
+                    ticket._done.set()
                     return
                 with self._lock:
                     self._in_flight += 1

@@ -35,7 +35,8 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
-from ..parallel.runner import shutdown_worker_pool
+from ..faults import fault_point
+from ..parallel.runner import shutdown_worker_pool, supervision_counters
 from ..parallel.shm import SharedArena, arena_scope
 from ..pipeline.experiments import default_scale as _default_scale
 from .admission import AdmissionQueue, BusyError, ShuttingDownError
@@ -102,6 +103,7 @@ class ReproServer:
         enrichment_backend: str = "serial",
         hooks: Optional[ServerHooks] = None,
         extra_handlers: Optional[dict[str, Callable[[dict[str, Any]], Any]]] = None,
+        supervisor_interval: float = 1.0,
     ) -> None:
         self.host = host
         self.port = port
@@ -118,6 +120,7 @@ class ReproServer:
         #: Test-only ops (fault injection) executed through admission but
         #: outside the dataset/cache path; ``fn(params) -> payload``.
         self.extra_handlers = dict(extra_handlers or {})
+        self.supervisor_interval = float(supervisor_interval)
 
         self._lock = threading.Lock()
         self._responding = 0
@@ -126,6 +129,7 @@ class ReproServer:
         self._stopped = threading.Event()
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
+        self._supervisor_thread: Optional[threading.Thread] = None
         self._connections: set[socket.socket] = set()
         self._started_at = 0.0
 
@@ -172,6 +176,10 @@ class ReproServer:
             target=self._accept_loop, name="serve-accept", daemon=True
         )
         self._accept_thread.start()
+        self._supervisor_thread = threading.Thread(
+            target=self._supervisor_loop, name="serve-supervisor", daemon=True
+        )
+        self._supervisor_thread.start()
         return self
 
     def stop(self) -> None:
@@ -201,6 +209,8 @@ class ReproServer:
                 pass
         if self._accept_thread is not None:
             self._accept_thread.join()
+        if self._supervisor_thread is not None:
+            self._supervisor_thread.join()
         if self.admission is not None:
             self.admission.shutdown()
         # Connection threads may still be writing the responses of the drained
@@ -242,6 +252,27 @@ class ReproServer:
     @property
     def running(self) -> bool:
         return self._started and not self._stopped.is_set()
+
+    # ------------------------------------------------------------------
+    # supervision
+    # ------------------------------------------------------------------
+    def _supervisor_loop(self) -> None:
+        while not self._stopped.wait(self.supervisor_interval):
+            try:
+                self.supervise_once()
+            except Exception:  # pragma: no cover - the supervisor must survive
+                pass
+
+    def supervise_once(self) -> int:
+        """One supervision pass: respawn dead admission workers.
+
+        Runs periodically on the supervisor thread (every
+        ``supervisor_interval`` seconds); callable directly by tests.
+        Returns how many workers were respawned.
+        """
+        if self.admission is None or self._stopped.is_set():
+            return 0
+        return self.admission.respawn_dead()
 
     # ------------------------------------------------------------------
     # socket plumbing
@@ -385,6 +416,7 @@ class ReproServer:
         request_hash = spec_hash(request.op, normalized)
         if self.hooks.on_admit is not None:
             self.hooks.on_admit(request.op, request_hash)
+        fault_point("serve.admit", op=request.op, spec_hash=request_hash)
         try:
             ticket = self.admission.submit(
                 lambda: self._execute(request.op, normalized, request_hash)
@@ -419,6 +451,7 @@ class ReproServer:
                     return hit, True
             if self.hooks.before_execute is not None:
                 self.hooks.before_execute(op, request_hash)
+            fault_point("serve.execute", op=op, spec_hash=request_hash)
             payload = HANDLERS[op](state, normalized)
             if cacheable:
                 self.cache.put(request_hash, state.key, generation, payload)
@@ -452,5 +485,6 @@ class ReproServer:
             "admission": self.admission.stats() if self.admission is not None else {},
             "cache": cache,
             "enrichment": enrichment,
+            "supervision": supervision_counters(),
             "datasets": datasets,
         }

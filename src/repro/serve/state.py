@@ -25,6 +25,7 @@ import threading
 import time
 from typing import Any, Callable, Optional
 
+from ..faults import fault_point
 from ..pipeline.workflow import DatasetBundle, prepare_dataset
 from .coalesce import EnrichmentBatcher
 
@@ -79,6 +80,10 @@ class DatasetState:
         self.bundle = bundle
         self.generation = 0
         self.created = time.time()
+        #: ``"healthy"`` | ``"degraded"`` — a failed reload degrades the
+        #: state (the previous bundle keeps serving) instead of killing it.
+        self.health = "healthy"
+        self.degraded_reason: Optional[str] = None
         self._batch_gate = batch_gate
         self._batch_submit = batch_submit
         self.batcher = EnrichmentBatcher(bundle.scorer, gate=batch_gate, on_submit=batch_submit)
@@ -137,8 +142,16 @@ class DatasetState:
             self._reloading = False
             self._cond.notify_all()
 
+    def mark_degraded(self, reason: str) -> None:
+        self.health = "degraded"
+        self.degraded_reason = reason
+
+    def mark_healthy(self) -> None:
+        self.health = "healthy"
+        self.degraded_reason = None
+
     def summary(self) -> dict[str, Any]:
-        return {
+        out = {
             "dataset": self.name,
             "scale": self.scale,
             "generation": self.generation,
@@ -146,7 +159,11 @@ class DatasetState:
             "n_edges": self.bundle.n_edges,
             "original_clusters": len(self.bundle.original_clusters),
             "active_requests": self.active,
+            "health": self.health,
         }
+        if self.degraded_reason is not None:
+            out["degraded_reason"] = self.degraded_reason
+        return out
 
 
 class ServerState:
@@ -170,6 +187,7 @@ class ServerState:
         self._build_lock = threading.Lock()
 
     def _build_bundle(self, name: str, scale: float) -> DatasetBundle:
+        fault_point("serve.rebuild", dataset=name, scale=scale)
         bundle = prepare_dataset(
             name, scale=scale, seed=self.seed, enrichment_backend=self.enrichment_backend
         )
@@ -207,15 +225,27 @@ class ServerState:
     def reload(
         self, state: DatasetState, on_drain: Optional[Callable[[str], None]] = None
     ) -> int:
-        """Drain, rebuild and swap one dataset state; returns the new generation."""
+        """Drain, rebuild and swap one dataset state; returns the new generation.
+
+        The new bundle is built *before* anything of the old state is torn
+        down: a failed rebuild marks the state degraded and re-raises, while
+        the previous bundle (and its still-running batcher) keeps serving —
+        a reload can fail, but it can never strand the dataset.
+        """
         state.begin_reload(on_drain)
         try:
+            try:
+                bundle = self._build_bundle(state.name, state.scale)
+            except Exception as exc:
+                state.mark_degraded(f"reload failed: {type(exc).__name__}: {exc}")
+                raise
             state.batcher.stop()
-            state.bundle = self._build_bundle(state.name, state.scale)
+            state.bundle = bundle
             state.batcher = EnrichmentBatcher(
-                state.bundle.scorer, gate=state._batch_gate, on_submit=state._batch_submit
+                bundle.scorer, gate=state._batch_gate, on_submit=state._batch_submit
             )
             state.generation += 1
+            state.mark_healthy()
             return state.generation
         finally:
             state.end_reload()

@@ -224,9 +224,14 @@ class TestServedRoundTrips:
         stats = client.result("stats")
         assert stats["protocol"] == 1
         assert stats["cache"]["capacity"] == 256
-        assert set(stats["admission"]) == {"admitted", "rejected", "executed", "in_flight", "pending"}
+        assert set(stats["admission"]) == {
+            "admitted", "rejected", "executed", "in_flight", "pending",
+            "workers_alive", "worker_respawns",
+        }
         assert set(stats["enrichment"]) == {"batches", "coalesced_requests", "scored_clusters"}
+        assert set(stats["supervision"]) == {"retries", "degrades"}
         assert any(d["dataset"] == "CRE" for d in stats["datasets"])
+        assert all(d["health"] == "healthy" for d in stats["datasets"])
 
     def test_enrich_original_matches_direct_scoring(self, server, client):
         result = client.result("enrich", dataset="CRE")

@@ -51,15 +51,21 @@ def _well_behaved(item: int) -> int:
 # dead-worker detection in the shared pool
 # ----------------------------------------------------------------------
 class TestDeadPoolWorker:
+    # max_retries=0: these tests pin the *raise* path — retrying a payload
+    # that unconditionally SIGKILLs its worker would only repeat the drain.
     def test_killed_worker_raises_instead_of_hanging(self):
         with pytest.raises(WorkerPoolError, match="died"):
-            parallel_map(_suicide_on_zero, [(i,) for i in range(4)], backend="process")
+            parallel_map(
+                _suicide_on_zero, [(i,) for i in range(4)], backend="process", max_retries=0
+            )
         # The broken pool was torn down, not left half-dead.
         assert worker_pool_size() == 0
 
     def test_pool_respawns_after_failure(self):
         with pytest.raises(WorkerPoolError):
-            parallel_map(_suicide_on_zero, [(i,) for i in range(4)], backend="process")
+            parallel_map(
+                _suicide_on_zero, [(i,) for i in range(4)], backend="process", max_retries=0
+            )
         # The next call builds a fresh pool and works normally.
         assert parallel_map(_well_behaved, [(i,) for i in range(6)], backend="process") == [
             1, 2, 3, 4, 5, 6,
@@ -72,7 +78,9 @@ class TestDeadPoolWorker:
 # ----------------------------------------------------------------------
 def _faulty_op(params: dict) -> dict:
     """Test-only server op: fans a poisoned map over the process pool."""
-    values = parallel_map(_suicide_on_zero, [(i,) for i in range(4)], backend="process")
+    values = parallel_map(
+        _suicide_on_zero, [(i,) for i in range(4)], backend="process", max_retries=0
+    )
     return {"values": values}
 
 
