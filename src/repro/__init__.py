@@ -19,6 +19,10 @@ The package is organised as one sub-package per subsystem:
 ``repro.core``
     the paper's contribution — sequential and parallel maximal chordal
     subgraph filters plus the random-walk control, behind ``apply_filter``.
+``repro.kernels``
+    the kernel backend registry — ``reference`` / ``numpy`` / ``jit``
+    execution tiers for the hot loops, selected per call, per process or
+    via ``REPRO_KERNELS``.
 ``repro.pipeline``
     end-to-end experiments and the per-figure drivers used by the benchmarks.
 
@@ -45,6 +49,12 @@ from .core import (
 from .expression import CorrelationThreshold, ExpressionMatrix, build_correlation_network, make_study
 from .faults import FaultError, FaultPlan, FaultRule, active_plan, clear_plan, current_plan, fault_point, install_plan
 from .graph import Graph
+from .kernels import (
+    available_kernel_tiers,
+    kernel_backend,
+    kernel_tier_info,
+    set_kernel_backend,
+)
 from .ontology import AnnotationTable, EnrichmentScorer, GODag
 from .pipeline import analyze_filter, prepare_dataset
 
@@ -73,6 +83,10 @@ __all__ = [
     "mcode_clusters",
     "prepare_dataset",
     "analyze_filter",
+    "available_kernel_tiers",
+    "kernel_backend",
+    "kernel_tier_info",
+    "set_kernel_backend",
     "FaultError",
     "FaultPlan",
     "FaultRule",

@@ -1,0 +1,268 @@
+"""Kernel backend registry: ``reference`` / ``numpy`` / ``jit`` tiers.
+
+Modeled on :func:`repro.parallel.runner.available_backends`: every hot kernel
+(MCS ordering, DSW extraction, MCODE peel/weights, bitset BFS) is available
+in three behaviourally identical tiers —
+
+* ``reference`` — the retained seed bodies (label-and-set implementations);
+  dispatched at the public label-level functions, where the seed semantics
+  live.  At the index-kernel level reference is served by the ``numpy`` tier
+  (the seed bodies do not speak indices).
+* ``numpy`` — the CSR/array implementations grown in PRs 1–5 (the default).
+* ``jit`` — numba ``@njit(cache=True)`` ports of the same loops
+  (:mod:`repro.kernels.jit_kernels`).  Auto-selected only when numba imports
+  cleanly; requesting it without numba warns once and falls back to
+  ``numpy``.  There is **no hard numba dependency** — install it via the
+  ``repro[kernels]`` extra.
+
+Resolution order, first match wins:
+
+1. per-call ``kernels=`` argument,
+2. an active :func:`kernel_backend` context (how ``apply_filter`` /
+   ``analyze_filter`` scope a per-call tier across their internal helpers),
+3. the process default set by :func:`set_kernel_backend`,
+4. the ``REPRO_KERNELS`` environment variable (how spawned workers inherit
+   the CLI's ``--kernels`` choice),
+5. ``auto``: ``jit`` when available, else ``numpy``.
+
+All tiers produce byte-identical outputs (the equivalence grid in
+``tests/test_kernels.py`` pins this), so the selection is purely a
+performance knob.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import warnings
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Optional
+
+__all__ = [
+    "KERNEL_TIERS",
+    "available_kernel_tiers",
+    "set_kernel_backend",
+    "get_kernel_backend",
+    "resolve_kernels",
+    "kernel_backend",
+    "jit_available",
+    "jit_impl",
+    "kernel_tier_info",
+    "warm_kernels",
+    "warm_worker",
+]
+
+KERNEL_TIERS = ("reference", "numpy", "jit")
+
+_lock = threading.Lock()
+_process_default: Optional[str] = None
+# Context-override stack.  Deliberately process-global rather than
+# thread-local: the thread backends run rank bodies in worker threads that
+# must see the tier `apply_filter` scoped for the call.  Tiers are
+# output-identical, so a concurrent overlap (two serve requests with
+# different per-call tiers) can only shift *where* time is spent, never what
+# is computed.
+_override: list[str] = []
+_jit_probe: Optional[bool] = None
+_force_pure_jit = 0
+_warned_jit_unavailable = False
+
+
+def available_kernel_tiers() -> list[str]:
+    """The selectable kernel tiers, in escalation order."""
+    return list(KERNEL_TIERS)
+
+
+def _validate(name: str) -> str:
+    label = str(name).strip().lower()
+    if label != "auto" and label not in KERNEL_TIERS:
+        raise ValueError(
+            f"unknown kernel tier {name!r}; expected one of "
+            f"{available_kernel_tiers()} (or 'auto')"
+        )
+    return label
+
+
+def _jit_ready() -> bool:
+    """Can the jit tier serve? (numba importable, or forced pure-python)."""
+    global _jit_probe
+    if _force_pure_jit > 0:
+        return True
+    if _jit_probe is None:
+        try:
+            from . import jit_kernels
+
+            _jit_probe = bool(jit_kernels.HAVE_NUMBA)
+        except Exception:  # pragma: no cover - defensive: import must not raise
+            _jit_probe = False
+    return _jit_probe
+
+
+def set_kernel_backend(name: Optional[str]) -> str:
+    """Set the process-default kernel tier; returns the tier now active.
+
+    ``None`` or ``"auto"`` restores automatic selection (jit when available,
+    numpy otherwise).
+    """
+    global _process_default
+    label = "auto" if name is None else _validate(name)
+    with _lock:
+        _process_default = None if label == "auto" else label
+    return resolve_kernels()
+
+
+def get_kernel_backend() -> str:
+    """The *requested* process default (``"auto"`` when unset)."""
+    return _process_default or "auto"
+
+
+def resolve_kernels(explicit: Optional[str] = None) -> str:
+    """Resolve a kernel request to the tier that will actually serve.
+
+    Raises :class:`ValueError` for unknown names; a ``jit`` request without
+    numba warns once per process and resolves to ``numpy``.
+    """
+    global _warned_jit_unavailable
+    if explicit is not None:
+        label = _validate(explicit)
+    elif _override:
+        label = _override[-1]
+    elif _process_default is not None:
+        label = _process_default
+    else:
+        label = _validate(os.environ.get("REPRO_KERNELS") or "auto")
+    if label == "auto":
+        return "jit" if _jit_ready() else "numpy"
+    if label == "jit" and not _jit_ready():
+        with _lock:
+            if not _warned_jit_unavailable:
+                _warned_jit_unavailable = True
+                warnings.warn(
+                    "kernel tier 'jit' requested but numba is not available; "
+                    "falling back to 'numpy' (install the repro[kernels] "
+                    "extra to enable jit)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        return "numpy"
+    return label
+
+
+@contextmanager
+def kernel_backend(name: Optional[str]) -> Iterator[None]:
+    """Scope a kernel tier for the duration of a call (``None`` = no-op).
+
+    This is how the per-call ``kernels=`` of ``apply_filter`` /
+    ``analyze_filter`` reaches every kernel the call touches without
+    threading a keyword through all the samplers.
+    """
+    if name is None:
+        yield
+        return
+    label = _validate(name)
+    with _lock:
+        _override.append(label)
+    try:
+        yield
+    finally:
+        with _lock:
+            _override.remove(label)
+
+
+def jit_available() -> bool:
+    """``True`` when the jit tier can serve (numba importable)."""
+    return _jit_ready()
+
+
+def jit_impl(name: str) -> Callable[..., Any]:
+    """The jit-tier callable for a registered kernel name."""
+    from . import jit_kernels
+
+    return jit_kernels.KERNELS[name]
+
+
+def kernel_tier_info() -> dict[str, Any]:
+    """Operator-facing report: requested/active tier, numba availability."""
+    numba_version: Optional[str] = None
+    pure_python = False
+    try:
+        from . import jit_kernels
+
+        numba_version = jit_kernels.NUMBA_VERSION
+        pure_python = _force_pure_jit > 0 and not jit_kernels.HAVE_NUMBA
+    except Exception:  # pragma: no cover - defensive
+        pass
+    return {
+        "tiers": available_kernel_tiers(),
+        "requested": get_kernel_backend(),
+        "active": resolve_kernels(),
+        "jit_available": _jit_ready(),
+        "numba": numba_version,
+        "pure_python_jit": pure_python,
+    }
+
+
+def warm_kernels() -> dict[str, float]:
+    """Compile (and disk-cache) every jit kernel on tiny inputs.
+
+    Returns per-kernel wall seconds — the compile cost when numba is present
+    and cold, near-zero afterwards (``cache=True``) or in pure-python mode.
+    Returns an empty dict when the jit tier cannot serve, so callers can
+    invoke it unconditionally.
+    """
+    if not _jit_ready():
+        return {}
+    import numpy as np
+
+    from . import jit_kernels
+
+    # A 4-cycle plus chord: exercises every loop at least once.
+    indptr = np.array([0, 3, 5, 8, 10], dtype=np.int64)
+    indices = np.array([1, 2, 3, 0, 2, 0, 1, 3, 0, 2], dtype=np.int64)
+    members = np.arange(4, dtype=np.int64)
+    rank = np.arange(4, dtype=np.int64)
+    seq = np.arange(4, dtype=np.int64)
+    pairs = np.array([0, 3], dtype=np.int64), np.array([2, 1], dtype=np.int64)
+    calls: list[tuple[str, tuple]] = [
+        ("mcs_order", (indptr, indices, np.int64(-1))),
+        ("dsw_greedy", (indptr, indices, rank, np.int64(0))),
+        ("dsw_strict", (indptr, indices, seq)),
+        ("peel", (indptr, indices, members, np.int64(2))),
+        ("subset_edge_count", (indptr, indices, members)),
+        ("mcode_weights", (indptr, indices)),
+        ("bitset_bfs", (indptr, indices) + pairs),
+    ]
+    timings: dict[str, float] = {}
+    for name, args in calls:
+        t0 = time.perf_counter()
+        jit_kernels.KERNELS[name](*args)
+        timings[name] = time.perf_counter() - t0
+    return timings
+
+
+def warm_worker() -> None:
+    """Best-effort jit warm-up for pool workers; never raises.
+
+    Installed as the worker-pool initializer so each spawned worker compiles
+    (or loads from the shared ``cache=True`` disk cache) before its first
+    task instead of stalling mid-map.  A no-op unless the ambient tier
+    resolves to ``jit``.
+    """
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            if resolve_kernels() == "jit":
+                warm_kernels()
+    except Exception:
+        pass
+
+
+def _reset_for_tests() -> None:
+    """Clear all mutable registry state (tests only)."""
+    global _process_default, _jit_probe, _warned_jit_unavailable
+    with _lock:
+        _process_default = None
+        _jit_probe = None
+        _warned_jit_unavailable = False
+        _override.clear()

@@ -1,0 +1,490 @@
+"""Typed-array kernel bodies for the ``jit`` tier.
+
+Every kernel here is written in the numba-compilable subset of Python over
+plain ``int64``/``uint64``/``float64`` arrays: explicit loops, preallocated
+scratch buffers, no Python objects.  When numba imports cleanly each body is
+wrapped in ``@njit(cache=True)`` (compiled once per machine, disk-cached);
+when it does not, ``_jit`` degrades to the identity decorator and the bodies
+remain ordinary Python functions.  That degradation is load-bearing twice
+over: the registry can fall back to the ``numpy`` tier without this module
+failing to import, and the equivalence suite can execute the *uncompiled*
+bodies to pin their outputs bit-identically against the ``numpy`` tier even
+on machines without numba (numba compiles exactly these semantics, so the
+pin transfers to the compiled form).
+
+Tie-break contracts (must match ``core/chordal.py`` / ``clustering/mcode.py``
+exactly — the equivalence grid enforces this):
+
+* MCS selects max ``(weight, -index)``; here a binary **min**-heap over the
+  packed key ``(n - weight) * n + v`` — weight descending, index ascending —
+  with the same lazy stale-entry skip as the numpy heap.
+* DSW greedy selects max ``(|S(v)|, -rank(v))`` where ``rank`` is the
+  caller-normalised unique priority permutation; packed min-key
+  ``(n - |S(v)|) * n + rank(v)``, vertex recovered through the inverse rank.
+  Accepted partners of a processed vertex are emitted in ascending index
+  order (``np.sort``), matching ``for w in sorted(su)``.
+* MCODE weights preserve the exact expression order
+  ``float(kmax) * (2.0 * e / (s * (s - 1)))`` for IEEE bit-identity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "HAVE_NUMBA",
+    "NUMBA_VERSION",
+    "KERNELS",
+    "mcs_order_kernel",
+    "dsw_greedy_kernel",
+    "dsw_strict_kernel",
+    "peel_kernel",
+    "subset_edge_count_kernel",
+    "mcode_weights_kernel",
+    "bitset_bfs_kernel",
+]
+
+try:  # pragma: no cover - exercised indirectly via the registry probe
+    import numba
+
+    HAVE_NUMBA = True
+    NUMBA_VERSION: "str | None" = numba.__version__
+    _jit = numba.njit(cache=True)
+except Exception:  # ImportError normally; any failure means "no jit"
+    HAVE_NUMBA = False
+    NUMBA_VERSION = None
+
+    def _jit(fn):
+        return fn
+
+
+# ----------------------------------------------------------------------
+# packed-key binary min-heap (backing store provided by the caller)
+# ----------------------------------------------------------------------
+@_jit
+def _heap_push(heap, size, key):
+    i = size
+    heap[i] = key
+    while i > 0:
+        parent = (i - 1) >> 1
+        if heap[parent] <= heap[i]:
+            break
+        heap[parent], heap[i] = heap[i], heap[parent]
+        i = parent
+    return size + 1
+
+
+@_jit
+def _heap_pop(heap, size):
+    top = heap[0]
+    size -= 1
+    heap[0] = heap[size]
+    i = 0
+    while True:
+        left = 2 * i + 1
+        if left >= size:
+            break
+        child = left
+        right = left + 1
+        if right < size and heap[right] < heap[left]:
+            child = right
+        if heap[i] <= heap[child]:
+            break
+        heap[i], heap[child] = heap[child], heap[i]
+        i = child
+    return top, size
+
+
+# ----------------------------------------------------------------------
+# Maximum Cardinality Search
+# ----------------------------------------------------------------------
+@_jit
+def mcs_order_kernel(indptr, indices, start):
+    """MCS ordering over raw CSR arrays; ``start < 0`` means no start vertex.
+
+    Packed lazy heap: pushes are bounded by n (seeding) + 2E (one per weight
+    increment), so the preallocated backing array never overflows.
+    """
+    n = indptr.shape[0] - 1
+    order = np.empty(n, np.int64)
+    weight = np.zeros(n, np.int64)
+    visited = np.zeros(n, np.uint8)
+    heap = np.empty(n + indices.shape[0] + 1, np.int64)
+    size = 0
+    n_done = 0
+    if start >= 0:
+        visited[start] = 1
+        order[0] = start
+        n_done = 1
+        for e in range(indptr[start], indptr[start + 1]):
+            weight[indices[e]] += 1
+    # Lazy seeding: only still-unvisited vertices enter the heap, at their
+    # current weights — the start vertex never sits around as a stale entry.
+    for v in range(n):
+        if visited[v] == 0:
+            size = _heap_push(heap, size, (n - weight[v]) * n + v)
+    while n_done < n:
+        key, size = _heap_pop(heap, size)
+        u = key % n
+        if visited[u] == 1 or n - key // n != weight[u]:
+            continue
+        visited[u] = 1
+        order[n_done] = u
+        n_done += 1
+        for e in range(indptr[u], indptr[u + 1]):
+            w = indices[e]
+            if visited[w] == 0:
+                weight[w] += 1
+                size = _heap_push(heap, size, (n - weight[w]) * n + w)
+    return order
+
+
+# ----------------------------------------------------------------------
+# Dearing–Shier–Warner maximal chordal subgraph
+# ----------------------------------------------------------------------
+@_jit
+def _dsw_process(u, step, indptr, indices, processed, s_len, s_flat, stamp, us, vs, n_acc):
+    """Process one vertex: emit its accepted edges, apply the S-update rule.
+
+    ``S(v)`` lives in ``s_flat[indptr[v] : indptr[v] + s_len[v]]`` — S(v) only
+    ever holds processed *neighbours* of v, so the CSR row span is a safe
+    upper bound.  The subset test ``S(v) ⊆ S(u)`` stamps S(u)'s members with
+    the (unique per processed vertex) ``step`` and checks every member of
+    S(v) carries the stamp — O(|S(u)| + Σ|S(v)|) per step, the same bound as
+    the set implementation.
+    """
+    processed[u] = 1
+    base = indptr[u]
+    su_len = s_len[u]
+    if su_len > 0:
+        partners = np.sort(s_flat[base : base + su_len])
+        for t in range(su_len):
+            us[n_acc] = u
+            vs[n_acc] = partners[t]
+            n_acc += 1
+        for t in range(su_len):
+            stamp[s_flat[base + t]] = step
+    for e in range(indptr[u], indptr[u + 1]):
+        v = indices[e]
+        if processed[v] == 1:
+            continue
+        sv_len = s_len[v]
+        ok = sv_len <= su_len
+        if ok:
+            vb = indptr[v]
+            for t in range(sv_len):
+                if stamp[s_flat[vb + t]] != step:
+                    ok = False
+                    break
+        if ok:
+            s_flat[indptr[v] + sv_len] = u
+            s_len[v] = sv_len + 1
+    return n_acc
+
+
+@_jit
+def dsw_greedy_kernel(indptr, indices, rank, start):
+    """Greedy DSW; ``rank`` must be a permutation of ``0..n-1`` (0 = first).
+
+    Selection pops max ``(|S|, -rank)`` via the packed min-key
+    ``(n - |S(v)|) * n + rank(v)``; after each processed vertex every
+    unprocessed neighbour is re-pushed at its *current* size.  That is a
+    superset of the reference's grown-only pushes, but every extra entry is
+    current at push time and packed keys are value-identical for identical
+    (size, rank) states, so the pop sequence — and therefore the accepted
+    edge set — is unchanged.
+    """
+    n = indptr.shape[0] - 1
+    m = indices.shape[0]
+    processed = np.zeros(n, np.uint8)
+    s_len = np.zeros(n, np.int64)
+    s_flat = np.empty(m + 1, np.int64)
+    stamp = np.full(n, -1, np.int64)
+    inv_rank = np.empty(n, np.int64)
+    for v in range(n):
+        inv_rank[rank[v]] = v
+    us = np.empty(m // 2 + 1, np.int64)
+    vs = np.empty(m // 2 + 1, np.int64)
+    heap = np.empty(n + m + 1, np.int64)
+    hsize = 0
+    n_acc = _dsw_process(start, 0, indptr, indices, processed, s_len, s_flat, stamp, us, vs, 0)
+    for v in range(n):
+        if processed[v] == 0:
+            hsize = _heap_push(heap, hsize, (n - s_len[v]) * n + rank[v])
+    n_proc = 1
+    step = 0
+    while n_proc < n:
+        key, hsize = _heap_pop(heap, hsize)
+        u = inv_rank[key % n]
+        if processed[u] == 1 or n - key // n != s_len[u]:
+            continue
+        step += 1
+        n_acc = _dsw_process(
+            u, step, indptr, indices, processed, s_len, s_flat, stamp, us, vs, n_acc
+        )
+        n_proc += 1
+        for e in range(indptr[u], indptr[u + 1]):
+            v = indices[e]
+            if processed[v] == 0:
+                hsize = _heap_push(heap, hsize, (n - s_len[v]) * n + rank[v])
+    return us[:n_acc], vs[:n_acc]
+
+
+@_jit
+def dsw_strict_kernel(indptr, indices, sequence):
+    """Strict-order DSW: process vertices exactly in ``sequence``."""
+    n = indptr.shape[0] - 1
+    m = indices.shape[0]
+    processed = np.zeros(n, np.uint8)
+    s_len = np.zeros(n, np.int64)
+    s_flat = np.empty(m + 1, np.int64)
+    stamp = np.full(n, -1, np.int64)
+    us = np.empty(m // 2 + 1, np.int64)
+    vs = np.empty(m // 2 + 1, np.int64)
+    n_acc = 0
+    for i in range(n):
+        n_acc = _dsw_process(
+            sequence[i], i, indptr, indices, processed, s_len, s_flat, stamp, us, vs, n_acc
+        )
+    return us[:n_acc], vs[:n_acc]
+
+
+# ----------------------------------------------------------------------
+# MCODE: k-core peel, induced edge count, stage-1 vertex weights
+# ----------------------------------------------------------------------
+@_jit
+def peel_kernel(indptr, indices, members, k):
+    """k-core peel restricted to ``members``; returns the alive mask.
+
+    The fixpoint (the k-core of the induced subgraph) is unique, so removal
+    order cannot matter — this LIFO stack reaches the same survivors as the
+    set-based ``_peel_subset``.  Each vertex is queued at most once (either
+    seeded below k, or exactly when its degree first crosses k-1), bounding
+    the stack by ``len(members)``.
+    """
+    n = indptr.shape[0] - 1
+    nm = members.shape[0]
+    alive = np.zeros(n, np.uint8)
+    for t in range(nm):
+        alive[members[t]] = 1
+    deg = np.zeros(n, np.int64)
+    for t in range(nm):
+        u = members[t]
+        d = 0
+        for e in range(indptr[u], indptr[u + 1]):
+            if alive[indices[e]] == 1:
+                d += 1
+        deg[u] = d
+    stack = np.empty(nm + 1, np.int64)
+    sp = 0
+    for t in range(nm):
+        u = members[t]
+        if deg[u] < k:
+            stack[sp] = u
+            sp += 1
+    while sp > 0:
+        sp -= 1
+        u = stack[sp]
+        if alive[u] == 0:
+            continue
+        alive[u] = 0
+        for e in range(indptr[u], indptr[u + 1]):
+            w = indices[e]
+            if alive[w] == 1:
+                deg[w] -= 1
+                if deg[w] == k - 1:
+                    stack[sp] = w
+                    sp += 1
+    return alive
+
+
+@_jit
+def subset_edge_count_kernel(indptr, indices, members):
+    """Edge count of the subgraph induced by ``members``."""
+    n = indptr.shape[0] - 1
+    in_set = np.zeros(n, np.uint8)
+    nm = members.shape[0]
+    for t in range(nm):
+        in_set[members[t]] = 1
+    count = 0
+    for t in range(nm):
+        u = members[t]
+        for e in range(indptr[u], indptr[u + 1]):
+            if in_set[indices[e]] == 1:
+                count += 1
+    return count // 2
+
+
+@_jit
+def mcode_weights_kernel(indptr, indices):
+    """MCODE stage 1: weight = k × density of each neighbourhood's top core.
+
+    Per vertex: map its neighbours to local ids through one reusable ``pos``
+    scratch array, build the local adjacency rows, level-peel to the highest
+    non-empty core, and score it.  The weight expression preserves the
+    ``numpy`` tier's evaluation order exactly, so the float64 results are
+    bit-identical.
+    """
+    n = indptr.shape[0] - 1
+    weights = np.zeros(n, np.float64)
+    pos = np.full(n, -1, np.int64)
+    for v in range(n):
+        base = indptr[v]
+        d = indptr[v + 1] - base
+        if d < 2:
+            continue
+        for li in range(d):
+            pos[indices[base + li]] = li
+        cap = 0
+        for li in range(d):
+            u = indices[base + li]
+            cap += indptr[u + 1] - indptr[u]
+        ladj = np.empty(cap, np.int64)
+        lptr = np.zeros(d + 1, np.int64)
+        cnt = 0
+        for li in range(d):
+            u = indices[base + li]
+            for e in range(indptr[u], indptr[u + 1]):
+                lw = pos[indices[e]]
+                if lw >= 0:
+                    ladj[cnt] = lw
+                    cnt += 1
+            lptr[li + 1] = cnt
+        # Highest non-empty k-core by level peeling (mirrors _top_core).
+        alive = np.ones(d, np.uint8)
+        deg = np.empty(d, np.int64)
+        for li in range(d):
+            deg[li] = lptr[li + 1] - lptr[li]
+        best = np.zeros(d, np.uint8)
+        best_k = 0
+        alive_count = d
+        stack = np.empty(d + 1, np.int64)
+        k = 0
+        while alive_count > 0:
+            k += 1
+            sp = 0
+            for li in range(d):
+                if alive[li] == 1 and deg[li] < k:
+                    stack[sp] = li
+                    sp += 1
+            while sp > 0:
+                sp -= 1
+                li = stack[sp]
+                if alive[li] == 0:
+                    continue
+                alive[li] = 0
+                alive_count -= 1
+                for e in range(lptr[li], lptr[li + 1]):
+                    w = ladj[e]
+                    if alive[w] == 1:
+                        deg[w] -= 1
+                        if deg[w] == k - 1:
+                            stack[sp] = w
+                            sp += 1
+            if alive_count > 0:
+                best_k = k
+                for li in range(d):
+                    best[li] = alive[li]
+        if best_k > 0:
+            s = 0
+            for li in range(d):
+                if best[li] == 1:
+                    s += 1
+            if s >= 2:
+                e2 = 0
+                for li in range(d):
+                    if best[li] == 1:
+                        for e in range(lptr[li], lptr[li + 1]):
+                            if best[ladj[e]] == 1:
+                                e2 += 1
+                ec = e2 // 2
+                weights[v] = float(best_k) * (2.0 * ec / (s * (s - 1)))
+        for li in range(d):
+            pos[indices[base + li]] = -1
+    return weights
+
+
+# ----------------------------------------------------------------------
+# multi-source bitset BFS (enrichment distance engine)
+# ----------------------------------------------------------------------
+@_jit
+def bitset_bfs_kernel(indptr, indices, src, dst):
+    """Answer ``(src, dst)`` distance queries with one multi-source bitset BFS.
+
+    Same plane layout as ``_bitset_distance_queries``: each distinct source
+    owns one bit across ``ceil(S / 64)`` uint64 words per vertex.  The level
+    expansion is the explicit vertex × neighbour × word triple loop (what
+    ``bitwise_or.reduceat`` computes in C), answering every still-pending
+    query at the level its source bit first reaches the destination; ``-1``
+    for unreachable pairs.
+    """
+    nq = src.shape[0]
+    out = np.full(nq, -1, np.int64)
+    n = indptr.shape[0] - 1
+    pending = np.empty(nq, np.int64)
+    n_pending = 0
+    for q in range(nq):
+        if src[q] == dst[q]:
+            out[q] = 0
+        else:
+            pending[n_pending] = q
+            n_pending += 1
+    if n_pending == 0 or indices.shape[0] == 0:
+        return out
+    sources = np.unique(src)
+    s_count = sources.shape[0]
+    s_idx = np.searchsorted(sources, src)
+    word = np.empty(nq, np.int64)
+    bit = np.empty(nq, np.uint64)
+    for q in range(nq):
+        word[q] = s_idx[q] // 64
+        bit[q] = np.uint64(s_idx[q] % 64)
+    n_words = (s_count + 63) // 64
+    reached = np.zeros((n, n_words), np.uint64)
+    for i in range(s_count):
+        reached[sources[i], i // 64] |= np.uint64(1) << np.uint64(i % 64)
+    frontier = reached.copy()
+    new = np.zeros((n, n_words), np.uint64)
+    d = 0
+    while n_pending > 0:
+        d += 1
+        any_new = False
+        for v in range(n):
+            lo = indptr[v]
+            hi = indptr[v + 1]
+            for w in range(n_words):
+                acc = np.uint64(0)
+                for e in range(lo, hi):
+                    acc |= frontier[indices[e], w]
+                acc = acc & ~reached[v, w]
+                new[v, w] = acc
+                if acc != np.uint64(0):
+                    reached[v, w] |= acc
+                    any_new = True
+        if not any_new:
+            break
+        kept = 0
+        for t in range(n_pending):
+            q = pending[t]
+            if (new[dst[q], word[q]] >> bit[q]) & np.uint64(1) != np.uint64(0):
+                out[q] = d
+            else:
+                pending[kept] = q
+                kept += 1
+        n_pending = kept
+        tmp = frontier
+        frontier = new
+        new = tmp
+    return out
+
+
+#: Kernel table the registry dispatches through (``jit_impl(name)``).
+KERNELS = {
+    "mcs_order": mcs_order_kernel,
+    "dsw_greedy": dsw_greedy_kernel,
+    "dsw_strict": dsw_strict_kernel,
+    "peel": peel_kernel,
+    "subset_edge_count": subset_edge_count_kernel,
+    "mcode_weights": mcode_weights_kernel,
+    "bitset_bfs": bitset_bfs_kernel,
+}

@@ -1,0 +1,32 @@
+"""Test-only hooks for the kernel registry.
+
+The jit tier's bodies are plain Python when numba is absent
+(:mod:`repro.kernels.jit_kernels` degrades ``@njit`` to the identity
+decorator).  :func:`pure_python_jit` marks the jit tier as *available* in
+that state, so the equivalence suite can drive the exact jit code paths —
+dispatch, array packing, tie-break logic — and pin their outputs
+bit-identically against the ``numpy`` tier on machines without numba.
+numba compiles exactly these bodies, so the pin transfers to the compiled
+form; CI additionally runs the whole grid with numba installed.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from . import _lock
+
+
+@contextmanager
+def pure_python_jit() -> Iterator[None]:
+    """Force the jit tier available (uncompiled bodies) for the duration."""
+    import repro.kernels as registry
+
+    with _lock:
+        registry._force_pure_jit += 1
+    try:
+        yield
+    finally:
+        with _lock:
+            registry._force_pure_jit -= 1

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from ..faults import fault_point
+from ..kernels import kernel_tier_info
 from ..parallel.runner import shutdown_worker_pool, supervision_counters
 from ..parallel.shm import SharedArena, arena_scope
 from ..pipeline.experiments import default_scale as _default_scale
@@ -486,5 +487,6 @@ class ReproServer:
             "cache": cache,
             "enrichment": enrichment,
             "supervision": supervision_counters(),
+            "kernels": kernel_tier_info(),
             "datasets": datasets,
         }

@@ -1,0 +1,400 @@
+"""Kernel backend registry and jit-tier equivalence tests.
+
+The jit kernels are written in the numba-compilable subset but degrade to
+plain Python when numba is absent (``@njit`` becomes the identity
+decorator), so this suite runs the *exact* jit code paths — dispatch, packed
+heaps, flat-array DSW, bitset planes — on every machine and pins their
+outputs bit-identically against the ``numpy`` and ``reference`` tiers.
+With numba installed (the CI ``kernels-jit`` job) the same grid runs
+compiled.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.kernels as kernels_registry
+from repro.clustering.mcode import (
+    MCODEParams,
+    k_core,
+    mcode_clusters,
+    mcode_clusters_indices,
+    mcode_vertex_weights_indices,
+)
+from repro.core.chordal import (
+    chordal_subgraph_edge_indices,
+    chordal_subgraph_edges,
+    maximum_cardinality_search,
+    mcs_order_indices,
+    reference_chordal_subgraph_edges,
+    reference_maximum_cardinality_search,
+)
+from repro.core.sampling import apply_filter
+from repro.graph import Graph, erdos_renyi_graph
+from repro.graph.csr import CSRGraph
+from repro.kernels import (
+    available_kernel_tiers,
+    jit_available,
+    kernel_backend,
+    kernel_tier_info,
+    resolve_kernels,
+    set_kernel_backend,
+    warm_kernels,
+)
+from repro.kernels.testing import pure_python_jit
+from repro.ontology.go_dag import distance_batch_arrays
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry(monkeypatch):
+    """Every test starts from pristine registry state (no env, no default)."""
+    monkeypatch.delenv("REPRO_KERNELS", raising=False)
+    kernels_registry._reset_for_tests()
+    yield
+    kernels_registry._reset_for_tests()
+
+
+def graph_pair(seed: int, n: int = 40, p: float = 0.15) -> tuple[Graph, CSRGraph]:
+    g = erdos_renyi_graph(n, p, seed=seed)
+    return g, CSRGraph.from_graph(g)
+
+
+# ----------------------------------------------------------------------
+# registry semantics
+# ----------------------------------------------------------------------
+def test_available_tiers():
+    assert available_kernel_tiers() == ["reference", "numpy", "jit"]
+
+
+def test_unknown_tier_raises_listing_valid_names():
+    with pytest.raises(ValueError) as err:
+        resolve_kernels("vectorised")
+    message = str(err.value)
+    for tier in available_kernel_tiers():
+        assert tier in message
+    with pytest.raises(ValueError):
+        set_kernel_backend("nope")
+    with pytest.raises(ValueError):
+        with kernel_backend("nope"):
+            pass  # pragma: no cover - the context must raise before entry
+
+
+def test_unknown_tier_raises_from_entry_points():
+    g, _ = graph_pair(0, n=10)
+    with pytest.raises(ValueError):
+        apply_filter(g, method="chordal", kernels="gpu")
+    with pytest.raises(ValueError):
+        mcs_order_indices(CSRGraph.from_graph(g), kernels="gpu")
+
+
+def test_resolution_order_call_over_context_over_default_over_env(monkeypatch):
+    assert resolve_kernels() == ("jit" if jit_available() else "numpy")
+    monkeypatch.setenv("REPRO_KERNELS", "reference")
+    assert resolve_kernels() == "reference"
+    set_kernel_backend("numpy")
+    assert resolve_kernels() == "numpy"
+    with kernel_backend("reference"):
+        assert resolve_kernels() == "reference"
+        assert resolve_kernels("numpy") == "numpy"  # per-call wins over all
+    assert resolve_kernels() == "numpy"
+    set_kernel_backend(None)
+    assert resolve_kernels() == "reference"  # back to the env setting
+
+
+def test_set_kernel_backend_reports_active_tier():
+    assert set_kernel_backend("numpy") == "numpy"
+    # Requesting jit reports what will actually serve.
+    active = set_kernel_backend("jit")
+    assert active == ("jit" if jit_available() else "numpy")
+    assert kernel_tier_info()["requested"] == "jit"
+
+
+def test_jit_requested_but_unavailable_warns_once(monkeypatch):
+    monkeypatch.setattr(kernels_registry, "_jit_probe", False)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert resolve_kernels("jit") == "numpy"
+        assert resolve_kernels("jit") == "numpy"
+        assert resolve_kernels("jit") == "numpy"
+    relevant = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+    assert len(relevant) == 1
+    assert "repro[kernels]" in str(relevant[0].message)
+
+
+def test_numba_absent_import_failure_falls_back_cleanly(monkeypatch):
+    """Reload jit_kernels with ``import numba`` failing: numpy fallback, no error."""
+    monkeypatch.setitem(sys.modules, "numba", None)  # import numba -> ImportError
+    spec = importlib.util.find_spec("repro.kernels.jit_kernels")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert module.HAVE_NUMBA is False
+    assert module.NUMBA_VERSION is None
+    monkeypatch.setitem(sys.modules, "repro.kernels.jit_kernels", module)
+    monkeypatch.setattr(kernels_registry, "_jit_probe", None)
+    assert resolve_kernels() == "numpy"  # auto never picks an unservable jit
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        assert resolve_kernels("jit") == "numpy"
+    # The whole pipeline still runs on the fallback tier.
+    g, _ = graph_pair(3, n=20)
+    result = apply_filter(g, method="chordal", ordering="natural", kernels="numpy")
+    assert result.graph.n_vertices == g.n_vertices
+    # The degraded module's kernels still compute correctly (plain Python).
+    indptr = np.array([0, 2, 4, 6], dtype=np.int64)
+    indices = np.array([1, 2, 0, 2, 0, 1], dtype=np.int64)
+    assert module.KERNELS["mcs_order"](indptr, indices, -1).tolist() == [0, 1, 2]
+
+
+def test_kernel_tier_info_shape():
+    info = kernel_tier_info()
+    assert info["tiers"] == ["reference", "numpy", "jit"]
+    assert info["requested"] == "auto"
+    assert info["active"] in ("numpy", "jit")
+    assert isinstance(info["jit_available"], bool)
+
+
+def test_warm_kernels_without_jit_is_a_noop(monkeypatch):
+    monkeypatch.setattr(kernels_registry, "_jit_probe", False)
+    assert warm_kernels() == {}
+
+
+def test_warm_kernels_runs_every_kernel_in_pure_python_mode():
+    with pure_python_jit():
+        timings = warm_kernels()
+    assert set(timings) == {
+        "mcs_order",
+        "dsw_greedy",
+        "dsw_strict",
+        "peel",
+        "subset_edge_count",
+        "mcode_weights",
+        "bitset_bfs",
+    }
+    assert all(t >= 0.0 for t in timings.values())
+
+
+# ----------------------------------------------------------------------
+# the MCS lazy-seed fix
+# ----------------------------------------------------------------------
+def test_mcs_start_vertex_not_left_stale_in_heap():
+    """With ``start`` given, the heap is seeded after the visit — and the
+    produced orders match the seed reference exactly (the fix must not move
+    any pin)."""
+    for seed in range(6):
+        g, csr = graph_pair(seed, n=25)
+        for start in (None, 0, 7, 24):
+            start_label = None if start is None else csr.labels[start]
+            expected = reference_maximum_cardinality_search(g, start_label)
+            got = maximum_cardinality_search(g, start_label)
+            assert got == expected
+            order = mcs_order_indices(csr, start)
+            assert sorted(order) == list(range(csr.n_vertices))
+            if start is not None:
+                assert order[0] == start
+
+
+# ----------------------------------------------------------------------
+# jit-tier equivalence (pure-python jit bodies; compiled on CI)
+# ----------------------------------------------------------------------
+def tiers_for_grid():
+    """numpy always; jit through the pure-python hook when numba is absent."""
+    return ["numpy", "jit"]
+
+
+def run_in_tier(tier, fn, *args, **kwargs):
+    if tier == "jit" and not kernels_registry._jit_ready():
+        with pure_python_jit():
+            return fn(*args, kernels="jit", **kwargs)
+    return fn(*args, kernels=tier, **kwargs)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_mcs_order_identical_across_tiers(seed):
+    _, csr = graph_pair(seed)
+    for start in (None, 3):
+        base = mcs_order_indices(csr, start, kernels="numpy")
+        assert run_in_tier("jit", mcs_order_indices, csr, start) == base
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("strict", [False, True])
+def test_dsw_identical_across_tiers(seed, strict):
+    rng = np.random.default_rng(seed)
+    _, csr = graph_pair(seed)
+    n = csr.n_vertices
+    priorities = [
+        None,
+        rng.permutation(n).astype(np.int64),
+        (rng.permutation(n).astype(np.int64) * 3 + 5),  # sparse, non-dense ranks
+        (np.arange(n, dtype=np.int64) // 4),  # ties: index breaks them
+    ]
+    for priority in priorities:
+        for start in (None, int(rng.integers(n))):
+            base = chordal_subgraph_edge_indices(
+                csr, priority=priority, strict_order=strict, start=start, kernels="numpy"
+            )
+            jit = run_in_tier(
+                "jit",
+                chordal_subgraph_edge_indices,
+                csr,
+                priority=priority,
+                strict_order=strict,
+                start=start,
+            )
+            assert jit == base
+
+
+def test_chordal_edges_reference_tier_runs_seed_body():
+    g, _ = graph_pair(5, n=20)
+    ref = chordal_subgraph_edges(g, kernels="reference")
+    seed_ref = reference_chordal_subgraph_edges(g)
+    assert ref == seed_ref
+    assert sorted(map(tuple, ref)) == sorted(
+        map(tuple, chordal_subgraph_edges(g, kernels="numpy"))
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_mcode_identical_across_tiers(seed):
+    g, csr = graph_pair(seed, n=60, p=0.12)
+    base_w = mcode_vertex_weights_indices(csr, kernels="numpy")
+    jit_w = run_in_tier("jit", mcode_vertex_weights_indices, csr)
+    assert base_w.tobytes() == jit_w.tobytes()  # bit-identical float64
+    for params in (MCODEParams(), MCODEParams(fluff=True, min_score=1.0, min_size=2)):
+        base = mcode_clusters_indices(csr, params, kernels="numpy")
+        assert run_in_tier("jit", mcode_clusters_indices, csr, params) == base
+    ref_clusters = mcode_clusters(g, kernels="reference")
+    numpy_clusters = mcode_clusters(g, kernels="numpy")
+    assert [c.members for c in ref_clusters] == [c.members for c in numpy_clusters]
+    assert [c.score for c in ref_clusters] == [c.score for c in numpy_clusters]
+    for k in (2, 3):
+        base_core = k_core(g, k, kernels="numpy")
+        jit_core = run_in_tier("jit", k_core, g, k)
+        ref_core = k_core(g, k, kernels="reference")
+        for other in (jit_core, ref_core):
+            assert other.vertices() == base_core.vertices()
+            assert sorted(other.edges()) == sorted(base_core.edges())
+
+
+def test_bitset_bfs_identical_across_tiers():
+    rng = np.random.default_rng(9)
+    # A random tree plus chords: connected, irregular levels.
+    n = 80
+    rows: list[list[int]] = [[] for _ in range(n)]
+    for v in range(1, n):
+        u = int(rng.integers(v))
+        rows[u].append(v)
+        rows[v].append(u)
+    for _ in range(40):
+        u, v = int(rng.integers(n)), int(rng.integers(n))
+        if u != v and v not in rows[u]:
+            rows[u].append(v)
+            rows[v].append(u)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    for v in range(n):
+        indptr[v + 1] = indptr[v] + len(rows[v])
+    indices = np.array([w for row in rows for w in sorted(row)], dtype=np.int64)
+    a = rng.integers(n, size=400).astype(np.int64)
+    b = rng.integers(n, size=400).astype(np.int64)
+    base = distance_batch_arrays(a, b, indptr, indices, kernels="numpy")
+    ref = distance_batch_arrays(a, b, indptr, indices, kernels="reference")
+    with pure_python_jit():
+        jit = distance_batch_arrays(a, b, indptr, indices, kernels="jit")
+    assert base.tolist() == ref.tolist() == jit.tolist()
+
+
+# ----------------------------------------------------------------------
+# full ordering × partitioner × tier grid on the real filters
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("method", ["chordal", "chordal_comm"])
+@pytest.mark.parametrize("ordering", ["natural", "high_degree", "rcm"])
+@pytest.mark.parametrize("partitioning", [(1, "block"), (4, "block"), (4, "bfs")])
+def test_filter_grid_identical_across_tiers(method, ordering, partitioning):
+    n_partitions, partition_method = partitioning
+    g, _ = graph_pair(11, n=48, p=0.12)
+    kwargs = {}
+    if n_partitions > 1:
+        kwargs["partition_method"] = partition_method
+    base = apply_filter(
+        g, method=method, ordering=ordering, n_partitions=n_partitions,
+        kernels="numpy", **kwargs,
+    )
+    if kernels_registry._jit_ready():
+        jit = apply_filter(
+            g, method=method, ordering=ordering, n_partitions=n_partitions,
+            kernels="jit", **kwargs,
+        )
+    else:
+        with pure_python_jit():
+            jit = apply_filter(
+                g, method=method, ordering=ordering, n_partitions=n_partitions,
+                kernels="jit", **kwargs,
+            )
+    assert sorted(jit.graph.edges()) == sorted(base.graph.edges())
+    assert jit.graph.vertices() == base.graph.vertices()
+
+
+def test_analyze_filter_identical_across_tiers(cre_bundle):
+    from repro.pipeline.workflow import analysis_payload, analyze_filter
+
+    base = analysis_payload(
+        analyze_filter(cre_bundle, method="chordal", ordering="natural", kernels="numpy")
+    )
+    with pure_python_jit():
+        jit = analysis_payload(
+            analyze_filter(cre_bundle, method="chordal", ordering="natural", kernels="jit")
+        )
+    ref = analysis_payload(
+        analyze_filter(cre_bundle, method="chordal", ordering="natural", kernels="reference")
+    )
+    assert base == jit == ref
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+def test_cli_kernels_report(capsys):
+    from repro.cli import main
+
+    assert main(["kernels"]) == 0
+    out = capsys.readouterr().out
+    assert "reference, numpy, jit" in out
+    assert "active" in out
+    if not jit_available():
+        assert "not installed" in out
+
+
+def test_cli_kernels_warm_flag(capsys):
+    from repro.cli import main
+
+    assert main(["kernels", "--warm"]) == 0
+    out = capsys.readouterr().out
+    if jit_available():
+        assert "warm[mcs_order]" in out
+    else:
+        assert "skipped" in out
+
+
+def test_cli_filter_accepts_kernels_flag(capsys, monkeypatch):
+    from repro.cli import main
+
+    monkeypatch.delenv("REPRO_KERNELS", raising=False)
+    assert main([
+        "filter", "--dataset", "CRE", "--scale", "0.02", "--kernels", "numpy", "--json",
+    ]) == 0
+    import os
+
+    assert os.environ["REPRO_KERNELS"] == "numpy"
+    baseline = capsys.readouterr().out
+    monkeypatch.delenv("REPRO_KERNELS", raising=False)
+    kernels_registry._reset_for_tests()
+    with pure_python_jit():
+        assert main([
+            "filter", "--dataset", "CRE", "--scale", "0.02", "--kernels", "jit", "--json",
+        ]) == 0
+    assert capsys.readouterr().out == baseline  # byte-identical payload
