@@ -156,6 +156,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-pending", type=int, default=64, help="admission queue bound")
     serve.add_argument("--cache-size", type=int, default=256, help="LRU result-cache entries")
     serve.add_argument(
+        "--arena-dir",
+        default=None,
+        help="back the daemon's shared arena with memory-mapped files in this "
+        "directory; exported bundles persist across restarts (warm restart "
+        "re-adopts them instead of rebuilding)",
+    )
+    serve.add_argument(
         "--port-file",
         default=None,
         help="write the bound port to this file once listening (for scripts)",
@@ -189,6 +196,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="retry a transient request failure (busy / timeout / dropped "
         "connection) this many times; requests are idempotent, so a retry "
         "returns the byte-identical payload",
+    )
+
+    spmd_worker = sub.add_parser(
+        "spmd-worker",
+        help="join a process-sock SPMD hub as one external worker (scale-out tier)",
+    )
+    spmd_worker.add_argument("--host", default=None, help="hub host (default REPRO_SOCK_HOST or 127.0.0.1)")
+    spmd_worker.add_argument("--port", type=int, default=None, help="hub port (default REPRO_SOCK_PORT)")
+    spmd_worker.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=None,
+        help="seconds to keep retrying the hub connection "
+        "(default REPRO_SOCK_CONNECT_TIMEOUT or 30)",
     )
 
     figure = sub.add_parser("figure", help="regenerate one of the paper's figures")
@@ -230,6 +251,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for per-run JSON results (spec-hash keyed)",
     )
     batch.add_argument("--no-cache", action="store_true", help="disable the disk cache")
+    batch.add_argument(
+        "--arena-dir",
+        default=None,
+        help="persistent file-backed arena directory shared by the batch's "
+        "process-shm filter runs (bundles survive across batches)",
+    )
     batch.add_argument("--force", action="store_true", help="re-run even on cache hits")
     batch.add_argument("--root-seed", type=int, default=0, help="root of the per-run RNG streams")
 
@@ -407,6 +434,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         max_pending=args.max_pending,
         cache_size=args.cache_size,
+        arena_dir=args.arena_dir,
     )
     server.start()
     try:
@@ -530,6 +558,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         force=args.force,
         root_seed=args.root_seed,
+        arena_dir=args.arena_dir,
     )
     print(format_table([r.row() for r in results], title=f"batch: {len(results)} runs"))
     failed = [r for r in results if r.status == "failed"]
@@ -538,6 +567,21 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if not args.no_cache:
         print(f"results cached under {args.cache_dir}")
     return 1 if failed else 0
+
+
+def _cmd_spmd_worker(args: argparse.Namespace) -> int:
+    import os
+
+    from .parallel.sock import worker_main  # deferred: workers are opt-in
+
+    host = args.host or os.environ.get("REPRO_SOCK_HOST", "127.0.0.1")
+    port = args.port if args.port is not None else os.environ.get("REPRO_SOCK_PORT")
+    if port is None:
+        print("repro spmd-worker: --port (or REPRO_SOCK_PORT) is required", file=sys.stderr)
+        return 2
+    print(f"repro spmd-worker: joining hub {host}:{int(port)}", flush=True)
+    worker_main(host, int(port), args.connect_timeout)
+    return 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -591,6 +635,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "batch": _cmd_batch,
         "serve": _cmd_serve,
         "request": _cmd_request,
+        "spmd-worker": _cmd_spmd_worker,
     }
     return handlers[args.command](args)
 

@@ -424,6 +424,7 @@ def parallel_chordal_comm_filter(
         extra={
             "strict_order": strict_order,
             "comm_stats": report.total_stats(),
+            "comm_stats_per_rank": [r.stats.as_dict() for r in report.results],
             "backend": resolved_backend,
             # Supervision events (retries/degrades) ride in ``extra`` only:
             # the canonical filter payload excludes ``extra``, so a faulted

@@ -25,6 +25,9 @@ Sites (see ``docs/ARCHITECTURE.md`` for the full table):
 ``comm.send``        each communicator send
 ``comm.recv``        each communicator receive (supports ``hook`` delays)
 ``comm.barrier``     each barrier entry
+``comm.connect``     each socket worker's hub connect (process-sock)
+``sock.send``        each TCP frame written (hub routing and worker sends)
+``sock.recv``        each TCP frame read off a socket
 ``serve.admit``      each work-request admission on the daemon
 ``serve.execute``    each cache-miss execution on an admission worker
 ``serve.worker``     each ticket pickup by an admission worker thread

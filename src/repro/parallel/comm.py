@@ -25,6 +25,7 @@ without real network hardware.
 
 from __future__ import annotations
 
+import os
 import queue
 import threading
 from dataclasses import dataclass
@@ -32,12 +33,38 @@ from typing import Any, Callable, Optional, Sequence
 
 from ..faults import fault_point
 
-__all__ = ["CommStats", "SimCommWorld", "SimComm", "ProcComm", "ANY_SOURCE", "ANY_TAG"]
+__all__ = [
+    "CommStats",
+    "SimCommWorld",
+    "SimComm",
+    "ProcComm",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "watchdog_poll",
+]
 
 #: Wildcard source rank for :meth:`SimComm.recv`.
 ANY_SOURCE = -1
 #: Wildcard tag for :meth:`SimComm.recv`.
 ANY_TAG = -1
+
+
+def watchdog_poll() -> float:
+    """Poll period (seconds) of the dead-rank/worker watchdog loops.
+
+    The SPMD runner and the socket hub wake at this cadence to check for
+    ranks that died without reporting.  Configurable via the
+    ``REPRO_WATCHDOG_POLL`` environment variable (default 1.0s, floor 10ms)
+    — tests that provoke dead ranks lower it so failure detection does not
+    dominate their runtime.
+    """
+    raw = os.environ.get("REPRO_WATCHDOG_POLL")
+    if raw:
+        try:
+            return max(0.01, float(raw))
+        except ValueError:
+            pass
+    return 1.0
 
 
 def _payload_items(obj: Any) -> int:
@@ -50,7 +77,13 @@ def _payload_items(obj: Any) -> int:
 
 @dataclass
 class CommStats:
-    """Per-rank communication counters."""
+    """Per-rank communication counters.
+
+    ``bytes_sent`` / ``bytes_received`` count real transport bytes where the
+    transport actually frames them (the socket transport); queue-backed
+    transports leave them at zero rather than paying a second pickling pass
+    just to measure payload size.
+    """
 
     messages_sent: int = 0
     messages_received: int = 0
@@ -58,6 +91,8 @@ class CommStats:
     items_received: int = 0
     barriers: int = 0
     collectives: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
 
     def merge(self, other: "CommStats") -> "CommStats":
         """Return element-wise sums of two counter sets."""
@@ -68,7 +103,22 @@ class CommStats:
             items_received=self.items_received + other.items_received,
             barriers=self.barriers + other.barriers,
             collectives=self.collectives + other.collectives,
+            bytes_sent=self.bytes_sent + other.bytes_sent,
+            bytes_received=self.bytes_received + other.bytes_received,
         )
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict form (serve stats, result ``extra`` payloads)."""
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_received": self.messages_received,
+            "items_sent": self.items_sent,
+            "items_received": self.items_received,
+            "barriers": self.barriers,
+            "collectives": self.collectives,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+        }
 
 
 @dataclass
@@ -130,9 +180,31 @@ class _MessagingComm:
 
     #: Default timeout (seconds) for blocking receives; generous but finite so a
     #: protocol bug surfaces as an error instead of a hung test-suite.
+    #: Overridable per endpoint (``recv_timeout`` constructor argument of the
+    #: process/socket communicators) or process-wide via ``REPRO_COMM_TIMEOUT``.
     RECV_TIMEOUT = 60.0
 
     rank: int
+
+    @property
+    def recv_timeout(self) -> float:
+        """Effective blocking-receive / barrier timeout of this endpoint.
+
+        Resolution order: explicit ``recv_timeout`` constructor argument,
+        then the ``REPRO_COMM_TIMEOUT`` environment variable (spawned rank
+        processes inherit the environment, so one export covers the whole
+        world), then the class default :attr:`RECV_TIMEOUT`.
+        """
+        explicit = getattr(self, "_recv_timeout", None)
+        if explicit is not None:
+            return explicit
+        env = os.environ.get("REPRO_COMM_TIMEOUT")
+        if env:
+            try:
+                return float(env)
+            except ValueError:
+                pass
+        return self.RECV_TIMEOUT
 
     @property
     def size(self) -> int:  # pragma: no cover - overridden
@@ -193,11 +265,11 @@ class _MessagingComm:
                 return pending.pop(i)
         while True:
             try:
-                msg = self._get(timeout=self.RECV_TIMEOUT)
+                msg = self._get(timeout=self.recv_timeout)
             except queue.Empty:
                 raise TimeoutError(
                     f"rank {self.rank}: no message matching source={source} tag={tag} "
-                    f"arrived within {self.RECV_TIMEOUT}s — likely a protocol deadlock"
+                    f"arrived within {self.recv_timeout}s — likely a protocol deadlock"
                 ) from None
             if matches(msg):
                 return msg
@@ -345,6 +417,7 @@ class ProcComm(_MessagingComm):
         size: int,
         queues: Sequence[Any],
         barrier: Any,
+        recv_timeout: Optional[float] = None,
     ) -> None:
         if not 0 <= rank < size:
             raise ValueError(f"rank {rank} out of range for size {size}")
@@ -356,6 +429,7 @@ class ProcComm(_MessagingComm):
         self._barrier = barrier
         self._stats = CommStats()
         self._unmatched: list[_Message] = []
+        self._recv_timeout = None if recv_timeout is None else float(recv_timeout)
 
     @property
     def size(self) -> int:
@@ -382,11 +456,11 @@ class ProcComm(_MessagingComm):
         # barrier, every waiter gets a broken barrier instead of blocking
         # forever, and the error surfaces as this rank's failure.
         try:
-            self._barrier.wait(timeout=self.RECV_TIMEOUT)
+            self._barrier.wait(timeout=self.recv_timeout)
         except threading.BrokenBarrierError:
             raise TimeoutError(
                 f"rank {self.rank}: barrier not reached by every rank within "
-                f"{self.RECV_TIMEOUT}s — a peer likely died or deadlocked"
+                f"{self.recv_timeout}s — a peer likely died or deadlocked"
             ) from None
 
 

@@ -25,6 +25,13 @@ source of truth shared with :func:`parallel_map`):
     ``rank_args`` is exported to shared memory once and replaced by an
     :class:`~repro.parallel.shm.ArenaRef`, which the rank process resolves
     back into a zero-copy read-only view.
+``process-sock``
+    one resident socket worker per rank with a
+    :class:`~repro.parallel.sock.SockComm` endpoint — messages travel as
+    length-prefixed pickle frames over TCP through a hub in this process,
+    so ranks can live on *other hosts* (``repro spmd-worker`` + the
+    ``REPRO_SOCK_*`` rendezvous knobs); by default workers are spawned
+    locally and the backend behaves like ``process`` with a TCP wire.
 
 ``parallel_map`` offers the same backend names for embarrassingly parallel
 work items (no communicator).  Its ``process``/``process-shm`` backends keep
@@ -50,9 +57,11 @@ which always propagate untouched:
   payload that kills its worker would take the host process down with it on
   the thread/serial backends.
 * **degradable** — the backend's substrate could not be brought up at all
-  (pool spawn failure, shared-memory arena creation/export failure).  After
+  (pool spawn failure, shared-memory arena creation/export failure, socket
+  bind/rendezvous failure).  After
   retries are exhausted the supervisor steps down the degradation ladder
-  ``process-shm → process → thread → serial`` (stopping at ``thread`` for
+  ``process-sock → process-shm → process → thread → serial`` (stopping at
+  ``thread`` for
   SPMD, whose serial backend cannot service blocking receives) and retries
   there; the step-down is recorded in the supervision event log
   (:func:`pop_supervision_events`) and the global counters surfaced by
@@ -75,7 +84,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
 
 from ..faults import current_plan, fault_point
-from .comm import CommStats, ProcComm, SimCommWorld
+from .comm import CommStats, ProcComm, SimCommWorld, watchdog_poll
 from .shm import ArenaError, export_payload, owned_arena, resolve_payload
 
 __all__ = [
@@ -89,6 +98,8 @@ __all__ = [
     "pop_supervision_events",
     "supervision_counters",
     "reset_supervision_counters",
+    "comm_counters",
+    "reset_comm_counters",
     "run_spmd",
     "parallel_map",
     "available_backends",
@@ -220,6 +231,34 @@ def reset_supervision_counters() -> None:
             _counters[key] = 0
 
 
+_comm_totals_lock = threading.Lock()
+_comm_totals = CommStats()
+
+
+def _accumulate_comm(stats: CommStats) -> None:
+    global _comm_totals
+    with _comm_totals_lock:
+        _comm_totals = _comm_totals.merge(stats)
+
+
+def comm_counters() -> dict[str, int]:
+    """Process-wide communication totals across all SPMD rounds.
+
+    Every :func:`run_spmd` return merges its report's
+    :meth:`~SpmdReport.total_stats` here, so a resident server can surface
+    cumulative message/byte counters in ``repro serve`` stats without
+    threading per-request reports through the handler layer.
+    """
+    with _comm_totals_lock:
+        return _comm_totals.as_dict()
+
+
+def reset_comm_counters() -> None:
+    global _comm_totals
+    with _comm_totals_lock:
+        _comm_totals = CommStats()
+
+
 def _record_event(event: dict[str, Any]) -> None:
     events = getattr(_supervision_tls, "events", None)
     if events is None:
@@ -251,7 +290,7 @@ _DEGRADABLE_EXC = (ArenaError, OSError)
 
 def _degradation_ladder(backend: str, floor: str = "serial") -> list[str]:
     """The backends to fall through, starting at the requested one."""
-    order = available_backends()[::-1]  # process-shm, process, thread, serial
+    order = available_backends()[::-1]  # process-sock, process-shm, process, thread, serial
     start = order.index(backend)
     stop = order.index(floor)
     return order[start : stop + 1] if stop >= start else [backend]
@@ -362,8 +401,13 @@ class SpmdReport:
 
 def available_backends() -> list[str]:
     """Names of the execution backends accepted by :func:`run_spmd` and
-    :func:`parallel_map` — the single source of truth for both."""
-    return ["serial", "thread", "process", "process-shm"]
+    :func:`parallel_map` — the single source of truth for both.
+
+    Ordered cheapest-substrate first; the degradation ladder is this list
+    reversed, so ``process-sock`` (TCP transport, cross-host capable) sits
+    last and degrades through ``process-shm → process → thread → serial``.
+    """
+    return ["serial", "thread", "process", "process-shm", "process-sock"]
 
 
 def _spmd_process_child(
@@ -473,7 +517,7 @@ def _spawn_and_collect(
         collected = 0
         while collected < n_ranks:
             try:
-                item = result_queue.get(timeout=1.0)
+                item = result_queue.get(timeout=watchdog_poll())
             except queue.Empty:
                 # A live rank may compute for as long as it needs.  The
                 # failure signal is a rank that *exited without reporting*
@@ -512,6 +556,39 @@ def _spawn_and_collect(
     return values, stats
 
 
+def _run_spmd_sock(
+    fn: RankFn,
+    n_ranks: int,
+    args: tuple[Any, ...],
+    kwargs: dict[str, Any],
+    rank_args: Optional[Sequence[Sequence[Any]]],
+) -> tuple[list[Any], list[CommStats]]:
+    """Execute the ranks on socket workers (local or remote) via the hub pool.
+
+    Payloads cross the wire pickled — no arena export, since ``ArenaRef``
+    handles are host-local and the transport's point is crossing hosts.
+    Bring-up failures (bind, rendezvous timeout) degrade down the ladder;
+    a worker dying mid-round raises :class:`DeadRankError` (retryable).
+    """
+    from .sock import get_sock_pool  # lazy: only sock users pay the import
+
+    payloads: list[tuple[Any, ...]] = [
+        tuple(rank_args[r]) if rank_args is not None else () for r in range(n_ranks)
+    ]
+    kill_ranks: set[int] = set()
+    fault_point("spmd.ranks", kill_ranks=kill_ranks, n_ranks=n_ranks)
+    try:
+        pool = get_sock_pool()
+    except _DEGRADABLE_EXC as exc:
+        raise _DegradableFailure(exc) from exc
+    try:
+        return pool.run_round(fn, n_ranks, payloads, args, kwargs, kill_ranks)
+    except (WorkerPoolError, DeadRankError, RuntimeError):
+        raise
+    except _DEGRADABLE_EXC as exc:
+        raise _DegradableFailure(exc) from exc
+
+
 def _run_spmd_backend(
     fn: RankFn,
     n_ranks: int,
@@ -521,10 +598,13 @@ def _run_spmd_backend(
     backend: str,
 ) -> SpmdReport:
     """One un-supervised SPMD attempt on ``backend`` (see :func:`run_spmd`)."""
-    if backend in ("process", "process-shm"):
-        values, stats = _run_spmd_processes(
-            fn, n_ranks, args, kwargs, rank_args, use_shm=(backend == "process-shm")
-        )
+    if backend in ("process", "process-shm", "process-sock"):
+        if backend == "process-sock":
+            values, stats = _run_spmd_sock(fn, n_ranks, args, kwargs, rank_args)
+        else:
+            values, stats = _run_spmd_processes(
+                fn, n_ranks, args, kwargs, rank_args, use_shm=(backend == "process-shm")
+            )
         results = [RankResult(rank=r, value=values[r], stats=stats[r]) for r in range(n_ranks)]
         return SpmdReport(results=results, n_ranks=n_ranks, backend=backend)
 
@@ -623,7 +703,7 @@ def run_spmd(
     kwargs = dict(kwargs or {})
 
     ladder = _degradation_ladder(backend, floor="thread" if backend != "serial" else "serial")
-    return _supervise(
+    report = _supervise(
         "run_spmd",
         backend,
         ladder,
@@ -631,6 +711,8 @@ def run_spmd(
         max_retries,
         degrade,
     )
+    _accumulate_comm(report.total_stats())
+    return report
 
 
 def _call_star(payload: tuple[Callable[..., Any], tuple[Any, ...]]) -> Any:
@@ -779,6 +861,19 @@ def _map_backend(
         n_threads = processes or min(len(payloads), 32)
         with ThreadPoolExecutor(max_workers=max(1, n_threads)) as pool:
             return list(pool.map(_call_star, payloads))
+    if backend == "process-sock":
+        from .sock import get_sock_pool  # lazy: only sock users pay the import
+
+        try:
+            pool = get_sock_pool()
+        except _DEGRADABLE_EXC as exc:
+            raise _DegradableFailure(exc) from exc
+        try:
+            return pool.run_map(payloads, processes)
+        except (WorkerPoolError, RuntimeError):
+            raise
+        except _DEGRADABLE_EXC as exc:
+            raise _DegradableFailure(exc) from exc
     n_workers = processes or min(len(payloads), multiprocessing.cpu_count()) or 1
     if backend == "process":
         return _pool_map(payloads, processes, n_workers)

@@ -26,19 +26,41 @@ eviction; on POSIX the memory itself survives until the last handle closes,
 so unlinking while workers still hold views is safe.  The batch engine scopes
 one arena per scale-group (:func:`arena_scope`): filters running inside the
 group export into the shared arena, and the group tears it down at the end.
+
+File-backed arenas (the scale-out tier)
+---------------------------------------
+``SharedArena(path=...)`` (alias :class:`FileArena`) keeps the exact same
+``ArenaRef`` / ``export_bundle`` / content-dedup API but backs every segment
+with a memory-mapped file under ``path`` instead of POSIX shm.  Two things
+fall out of that swap:
+
+* **persistence across process generations** — the arena maintains a JSON
+  *manifest* (``manifest.json`` under ``path``) mapping content digests to
+  segment files.  A new arena opened on the same path adopts the manifest,
+  so re-exporting equal content (the CSR buffers of the same graph, rebuilt
+  by a restarted ``repro serve``) is a digest hit against the *previous
+  generation's* mapped file — no copy, no new segment.  ``close()`` keeps
+  the files on disk (that is the point); ``unlink()`` purges them;
+* **graphs larger than RAM** — mapped pages are evictable file cache, so
+  CSR bundles can exceed physical memory and stream through
+  ``induced_subgraph`` slices on demand.
 """
 
 from __future__ import annotations
 
 import atexit
 import hashlib
+import json
+import mmap
+import os
 import threading
+import uuid
 import weakref
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Any, Iterator, Mapping, Optional
+from typing import Any, Iterator, Mapping, Optional, Union
 
 import numpy as np
 
@@ -48,6 +70,7 @@ __all__ = [
     "ArenaError",
     "ArenaRef",
     "SharedArena",
+    "FileArena",
     "attach",
     "resolve_payload",
     "export_payload",
@@ -81,23 +104,67 @@ def _content_key(src: np.ndarray) -> tuple[bytes, str, tuple[int, ...]]:
 class ArenaRef:
     """Picklable handle to one exported array.
 
-    ``name`` is the shared-memory segment name; it is ``None`` for empty
+    ``name`` is the shared-memory segment name (``kind="shm"``) or the
+    segment file's absolute path (``kind="file"``); it is ``None`` for empty
     arrays, which have no backing segment (POSIX shared memory cannot be
     zero-sized) and are reconstructed locally by :func:`attach`.  ``offset``
     locates the array inside its segment — several arrays exported together
     (:meth:`SharedArena.export_bundle`) share one segment, which costs one
-    ``shm_open`` instead of one per array on both sides.
+    ``shm_open`` / ``mmap`` instead of one per array on both sides.
     """
 
     name: Optional[str]
     dtype: str
     shape: tuple[int, ...]
     offset: int = 0
+    kind: str = "shm"
 
     @property
     def nbytes(self) -> int:
         n = int(np.prod(self.shape)) if self.shape else 1
         return n * np.dtype(self.dtype).itemsize
+
+
+class _FileSegment:
+    """Memory-mapped file counterpart of ``SharedMemory`` (same tiny surface).
+
+    ``create=True`` makes a fresh sparse file of ``size`` bytes and maps it
+    writable (the export side fills it); otherwise the existing file is
+    mapped read-only (the attach side), raising ``FileNotFoundError`` when
+    the segment has been unlinked — the exact failure mode of a vanished
+    shm segment.
+    """
+
+    __slots__ = ("name", "size", "buf", "_mmap", "_writable")
+
+    def __init__(self, path: str, create: bool = False, size: int = 0) -> None:
+        if create:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_RDWR, 0o600)
+            try:
+                os.ftruncate(fd, size)
+                self._mmap = mmap.mmap(fd, size, access=mmap.ACCESS_WRITE)
+            finally:
+                os.close(fd)
+        else:
+            fd = os.open(path, os.O_RDONLY)
+            try:
+                size = os.fstat(fd).st_size
+                self._mmap = mmap.mmap(fd, size, access=mmap.ACCESS_READ)
+            finally:
+                os.close(fd)
+        self.name = path
+        self.size = size
+        self.buf = memoryview(self._mmap)
+        self._writable = create
+
+    def close(self) -> None:
+        if self._writable:
+            self._mmap.flush()
+        self.buf.release()
+        self._mmap.close()  # raises BufferError while views are live (as shm does)
+
+    def unlink(self) -> None:
+        os.unlink(self.name)
 
 
 class SharedArena:
@@ -115,10 +182,24 @@ class SharedArena:
     fresh export, which buys nothing for a private single-call arena, so it
     is off by default and enabled by :func:`arena_scope` for the long-lived
     ambient arenas that actually see repeated content.
+
+    ``path`` selects the file-backed variant (see the module docstring):
+    segments become memory-mapped files under ``path``, content dedup is
+    forced on (persistence is built on the digest index), and that index is
+    adopted from / persisted to ``path/manifest.json`` so equal content
+    survives process generations.  :meth:`close` keeps the files on disk;
+    :meth:`unlink` purges them and the manifest.
     """
 
-    def __init__(self, content_dedup: bool = False) -> None:
-        self._segments: list[shared_memory.SharedMemory] = []
+    #: Manifest schema tag (bumped on incompatible layout changes).
+    MANIFEST_SCHEMA = "arena-manifest/v1"
+
+    def __init__(self, content_dedup: bool = False, path: Optional[str] = None) -> None:
+        self._path = None if path is None else os.path.abspath(path)
+        if self._path is not None:
+            os.makedirs(self._path, exist_ok=True)
+            content_dedup = True
+        self._segments: list[Union[shared_memory.SharedMemory, _FileSegment]] = []
         self._by_id: dict[int, tuple[weakref.ref, ArenaRef]] = {}
         self._by_digest: Optional[dict[tuple[bytes, str, tuple[int, ...]], ArenaRef]] = (
             {} if content_dedup else None
@@ -126,7 +207,93 @@ class SharedArena:
         self._lock = threading.Lock()
         self._closed = False
         self._unlinked = False
+        if self._path is not None:
+            self._adopt_manifest()
         _ALL_ARENAS.add(self)
+
+    @property
+    def kind(self) -> str:
+        """``"shm"`` (POSIX shared memory) or ``"file"`` (memory-mapped files)."""
+        return "shm" if self._path is None else "file"
+
+    @property
+    def path(self) -> Optional[str]:
+        return self._path
+
+    # ------------------------------------------------------------------
+    # file-backed persistence (manifest)
+    # ------------------------------------------------------------------
+    @property
+    def _manifest_file(self) -> str:
+        assert self._path is not None
+        return os.path.join(self._path, "manifest.json")
+
+    def _adopt_manifest(self) -> None:
+        """Adopt the previous generation's segments from ``path/manifest.json``.
+
+        Each surviving segment file is mapped once and its digest entries
+        repopulate the content index, so re-exports of equal content attach
+        to the old file instead of copying — the warm-restart fast path.
+        Missing segment files (a partially purged directory) are skipped;
+        a malformed or foreign-schema manifest is ignored entirely, and the
+        arena starts fresh and overwrites it on its next export.
+        """
+        try:
+            with open(self._manifest_file, encoding="utf-8") as fh:
+                manifest = json.load(fh)
+        except (OSError, ValueError):
+            return
+        if manifest.get("schema") != self.MANIFEST_SCHEMA:
+            return
+        opened: dict[str, _FileSegment] = {}
+        for entry in manifest.get("refs", ()):
+            try:
+                file_path = os.path.join(self._path, entry["file"])
+                seg = opened.get(file_path)
+                if seg is None:
+                    seg = _FileSegment(file_path)
+                    opened[file_path] = seg
+                    self._segments.append(seg)
+                ref = ArenaRef(
+                    name=file_path,
+                    dtype=entry["dtype"],
+                    shape=tuple(entry["shape"]),
+                    offset=int(entry["offset"]),
+                    kind="file",
+                )
+                key = (bytes.fromhex(entry["digest"]), ref.dtype, ref.shape)
+                self._by_digest[key] = ref
+            except (OSError, KeyError, TypeError, ValueError):
+                continue
+
+    def _save_manifest(self) -> None:
+        """Atomically publish the digest index (called under ``self._lock``)."""
+        refs = []
+        for key, ref in self._by_digest.items():
+            if ref.name is None or ref.kind != "file":
+                continue
+            refs.append(
+                {
+                    "digest": key[0].hex(),
+                    "dtype": ref.dtype,
+                    "shape": list(ref.shape),
+                    "file": os.path.basename(ref.name),
+                    "offset": ref.offset,
+                }
+            )
+        blob = json.dumps({"schema": self.MANIFEST_SCHEMA, "refs": refs}, sort_keys=True)
+        tmp = self._manifest_file + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self._manifest_file)
+
+    def _new_segment(self, size: int) -> Union[shared_memory.SharedMemory, _FileSegment]:
+        if self._path is None:
+            return shared_memory.SharedMemory(create=True, size=size)
+        name = os.path.join(self._path, f"seg-{uuid.uuid4().hex[:12]}.bin")
+        return _FileSegment(name, create=True, size=size)
 
     # ------------------------------------------------------------------
     # export side (creator process)
@@ -207,7 +374,7 @@ class SharedArena:
                 total = _align(total) + src.nbytes
             if not fresh:
                 return out
-            seg = shared_memory.SharedMemory(create=True, size=total)
+            seg = self._new_segment(total)
             self._segments.append(seg)
             offset = 0
             for obj_id, original, src, digest, keys in fresh:
@@ -215,7 +382,11 @@ class SharedArena:
                 dst = np.ndarray(src.shape, dtype=src.dtype, buffer=seg.buf, offset=offset)
                 dst[...] = src
                 ref = ArenaRef(
-                    name=seg.name, dtype=src.dtype.str, shape=tuple(src.shape), offset=offset
+                    name=seg.name,
+                    dtype=src.dtype.str,
+                    shape=tuple(src.shape),
+                    offset=offset,
+                    kind=self.kind,
                 )
                 self._by_id[obj_id] = (weakref.ref(original), ref)
                 if digest is not None:
@@ -223,6 +394,8 @@ class SharedArena:
                 for key in keys:
                     out[key] = ref
                 offset += src.nbytes
+            if self._path is not None:
+                self._save_manifest()
             return out
 
     def export_csr(self, csr: "Any") -> dict[str, ArenaRef]:
@@ -242,7 +415,12 @@ class SharedArena:
         return sum(seg.size for seg in self._segments)
 
     def close(self) -> None:
-        """Close this process's handles (idempotent; memory stays until unlink)."""
+        """Close this process's handles (idempotent; memory stays until unlink).
+
+        For a file-backed arena this is the *persist* path: the segment
+        files and the manifest stay on disk, and the next arena opened on
+        the same ``path`` adopts them.
+        """
         with self._lock:
             if self._closed:
                 return
@@ -258,7 +436,8 @@ class SharedArena:
 
         Attached workers keep their existing views alive — POSIX frees the
         memory when the last handle closes — but new :func:`attach` calls on
-        refs of this arena raise ``FileNotFoundError``.
+        refs of this arena raise ``FileNotFoundError``.  A file-backed
+        arena's segment files and manifest are deleted from disk.
         """
         self.close()
         with self._lock:
@@ -276,6 +455,11 @@ class SharedArena:
             self._by_id.clear()
             if self._by_digest is not None:
                 self._by_digest.clear()
+            if self._path is not None:
+                try:
+                    os.unlink(self._manifest_file)
+                except FileNotFoundError:
+                    pass
         # Drop this process's cached attachments of the destroyed segments so
         # an attach-after-unlink fails here exactly like it does in a worker.
         _evict_attached(names)
@@ -288,7 +472,22 @@ class SharedArena:
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         state = "unlinked" if self._unlinked else ("closed" if self._closed else "open")
-        return f"SharedArena(n_segments={self.n_segments}, bytes={self.total_bytes}, {state})"
+        return (
+            f"{type(self).__name__}(kind={self.kind!r}, n_segments={self.n_segments}, "
+            f"bytes={self.total_bytes}, {state})"
+        )
+
+
+class FileArena(SharedArena):
+    """A :class:`SharedArena` backed by memory-mapped files under ``path``.
+
+    Sugar for ``SharedArena(path=path)`` with ``path`` required — the
+    spelling used by components that *only* make sense file-backed (the
+    resident server's persistent bundle store).
+    """
+
+    def __init__(self, path: str, content_dedup: bool = True) -> None:
+        super().__init__(content_dedup=content_dedup, path=path)
 
 
 #: Every arena ever created in this process; unlinked as an interpreter-exit
@@ -310,7 +509,13 @@ def _cleanup_all_arenas() -> None:
         pass
     for arena in list(_ALL_ARENAS):
         try:
-            arena.unlink()
+            if arena._path is not None:
+                # File-backed arenas persist by design: release the mappings
+                # but leave the segment files + manifest for the next
+                # generation.  Purging them here would defeat warm restarts.
+                arena.close()
+            else:
+                arena.unlink()
         except Exception:  # pragma: no cover - defensive
             pass
 
@@ -319,15 +524,25 @@ atexit.register(_cleanup_all_arenas)
 
 
 def open_segment_count() -> int:
-    """Shared-memory segments created by this process and not yet unlinked.
+    """Segments created/mapped by this process and not yet unlinked.
 
-    The open-handle accounting of the arena layer: a component that owns
-    arena lifecycles (the batch engine's scale-groups, the resident service's
-    start/stop cycles) can assert it returns to its baseline after teardown —
-    a nonzero delta is a leaked ``/dev/shm`` segment that would otherwise
-    survive until interpreter exit.
+    The open-handle accounting of the arena layer, covering **both** arena
+    kinds — POSIX shm segments and mapped segment files count alike.  A
+    component that owns arena lifecycles (the batch engine's scale-groups,
+    the resident service's start/stop cycles) can assert it returns to its
+    baseline after teardown — a nonzero delta is a leaked ``/dev/shm``
+    segment or stray arena-directory mapping that would otherwise survive
+    until interpreter exit.
+
+    A *closed* file-backed arena does not count: its mappings are released
+    and the files persisting on disk is the feature, not a leak.  A closed
+    shm arena still counts — the ``/dev/shm`` segment exists until unlink.
     """
-    return sum(arena.n_segments for arena in list(_ALL_ARENAS) if not arena._unlinked)
+    return sum(
+        arena.n_segments
+        for arena in list(_ALL_ARENAS)
+        if not arena._unlinked and (arena._path is None or not arena._closed)
+    )
 
 
 def attached_handle_count() -> int:
@@ -348,11 +563,11 @@ def attached_handle_count() -> int:
 #: :func:`attach` call on top of the cached mapping — a plain ``np.ndarray``
 #: construction, no syscall.
 _ATTACH_CACHE_SIZE = 8
-_attached: "OrderedDict[str, shared_memory.SharedMemory]" = OrderedDict()
+_attached: "OrderedDict[str, Union[shared_memory.SharedMemory, _FileSegment]]" = OrderedDict()
 _attach_lock = threading.Lock()
 
 
-def _close_segment(seg: shared_memory.SharedMemory) -> None:
+def _close_segment(seg: Union[shared_memory.SharedMemory, _FileSegment]) -> None:
     try:
         seg.close()
     except (BufferError, OSError):  # a view of it is still referenced somewhere
@@ -368,14 +583,23 @@ def _evict_attached(names: list[str]) -> None:
                 _close_segment(seg)
 
 
-def _segment(name: str) -> shared_memory.SharedMemory:
-    """Open (or recall) the named segment; evicts the oldest over the cap."""
+def _segment(name: str, kind: str = "shm") -> Union[shared_memory.SharedMemory, _FileSegment]:
+    """Open (or recall) the named segment; evicts the oldest over the cap.
+
+    ``kind`` selects the mapping primitive: ``shm_open`` for ``"shm"`` refs,
+    a read-only file ``mmap`` for ``"file"`` refs.  The cache key is the
+    segment name — shm names and file paths live in disjoint namespaces
+    (paths are absolute, shm names are not), so one table serves both.
+    """
     with _attach_lock:
         seg = _attached.get(name)
         if seg is not None:
             _attached.move_to_end(name)
             return seg
-        seg = shared_memory.SharedMemory(name=name)
+        if kind == "file":
+            seg = _FileSegment(name)
+        else:
+            seg = shared_memory.SharedMemory(name=name)
         _attached[name] = seg
         while len(_attached) > _ATTACH_CACHE_SIZE:
             _, old = _attached.popitem(last=False)
@@ -395,7 +619,7 @@ def attach(ref: ArenaRef) -> np.ndarray:
         empty.setflags(write=False)
         return empty
     fault_point("arena.attach", name=ref.name)
-    seg = _segment(ref.name)
+    seg = _segment(ref.name, ref.kind)
     view = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=seg.buf, offset=ref.offset)
     view.setflags(write=False)
     return view
@@ -481,7 +705,9 @@ def owned_arena() -> Iterator[SharedArena]:
 
 
 @contextmanager
-def arena_scope(arena: Optional[SharedArena] = None) -> Iterator[SharedArena]:
+def arena_scope(
+    arena: Optional[SharedArena] = None, *, path: Optional[str] = None
+) -> Iterator[SharedArena]:
     """Make an arena ambient for the duration of the ``with`` block.
 
     Filters running with a ``process-shm`` backend export into the ambient
@@ -489,15 +715,24 @@ def arena_scope(arena: Optional[SharedArena] = None) -> Iterator[SharedArena]:
     scale-group of batch runs shares segments.  When ``arena`` is ``None`` a
     fresh one is created and **unlinked on exit**; a caller-supplied arena is
     left alive (the caller owns its lifecycle).
+
+    ``path`` (only meaningful when ``arena`` is ``None``) creates the scope's
+    arena **file-backed** under that directory instead: on exit it is closed,
+    not unlinked, so its segments and manifest persist — the next scope over
+    the same directory re-adopts equal payloads by content digest instead of
+    re-exporting them.
     """
     created = arena is None
     # A scope's arena lives across many runs, so rebuilt-but-equal payloads
     # are expected — content dedup pays for itself there.
-    scoped = SharedArena(content_dedup=True) if created else arena
+    scoped = SharedArena(content_dedup=True, path=path) if created else arena
     _active_arenas.stack.append(scoped)
     try:
         yield scoped
     finally:
         _active_arenas.stack.pop()
         if created:
-            scoped.unlink()
+            if scoped.kind == "file":
+                scoped.close()
+            else:
+                scoped.unlink()

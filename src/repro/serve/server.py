@@ -37,7 +37,7 @@ from typing import Any, Callable, Optional
 
 from ..faults import fault_point
 from ..kernels import kernel_tier_info
-from ..parallel.runner import shutdown_worker_pool, supervision_counters
+from ..parallel.runner import comm_counters, shutdown_worker_pool, supervision_counters
 from ..parallel.shm import SharedArena, arena_scope
 from ..pipeline.experiments import default_scale as _default_scale
 from .admission import AdmissionQueue, BusyError, ShuttingDownError
@@ -102,6 +102,7 @@ class ReproServer:
         max_pending: int = 64,
         cache_size: int = 256,
         enrichment_backend: str = "serial",
+        arena_dir: Optional[str] = None,
         hooks: Optional[ServerHooks] = None,
         extra_handlers: Optional[dict[str, Callable[[dict[str, Any]], Any]]] = None,
         supervisor_interval: float = 1.0,
@@ -117,6 +118,11 @@ class ReproServer:
         self.max_pending = max_pending
         self.cache_size = cache_size
         self.enrichment_backend = enrichment_backend
+        #: When set, the server's arena is file-backed under this directory:
+        #: exported bundles persist across restarts (a warm restart re-adopts
+        #: the previous generation's segments by content digest instead of
+        #: rebuilding them).
+        self.arena_dir = arena_dir
         self.hooks = hooks or ServerHooks()
         #: Test-only ops (fault injection) executed through admission but
         #: outside the dataset/cache path; ``fn(params) -> payload``.
@@ -150,8 +156,9 @@ class ReproServer:
             self._started = True
         self._started_at = time.time()
         # The server owns one arena for its whole lifetime; every executor
-        # thread makes it ambient, so process-shm runs share segments.
-        self.arena = SharedArena(content_dedup=True)
+        # thread makes it ambient, so process-shm runs share segments.  A
+        # file-backed arena additionally survives restarts via its manifest.
+        self.arena = SharedArena(content_dedup=True, path=self.arena_dir)
         from .state import ServerState  # deferred: keeps module import light
 
         self.state = ServerState(
@@ -223,7 +230,12 @@ class ReproServer:
             self.state.close()
         shutdown_worker_pool()
         if self.arena is not None:
-            self.arena.unlink()
+            if self.arena.kind == "file":
+                # File-backed segments are the warm-restart state: persist
+                # them (close flushes mappings and saves the manifest).
+                self.arena.close()
+            else:
+                self.arena.unlink()
         with self._lock:
             conns = list(self._connections)
         for conn in conns:
@@ -475,6 +487,14 @@ class ReproServer:
                 datasets.append(state.summary())
                 for key, value in state.batcher.stats().items():
                     enrichment[key] += value
+        arena: dict[str, Any] = {}
+        if self.arena is not None:
+            arena = {
+                "kind": self.arena.kind,
+                "path": self.arena.path,
+                "segments": self.arena.n_segments,
+                "bytes": self.arena.total_bytes,
+            }
         return {
             "protocol": PROTOCOL_VERSION,
             "host": self.host,
@@ -487,6 +507,8 @@ class ReproServer:
             "cache": cache,
             "enrichment": enrichment,
             "supervision": supervision_counters(),
+            "comm": comm_counters(),
+            "arena": arena,
             "kernels": kernel_tier_info(),
             "datasets": datasets,
         }

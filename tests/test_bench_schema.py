@@ -1,0 +1,72 @@
+"""Schema checks for the committed ``BENCH_*.json`` baselines.
+
+Every benchmark harness under ``benchmarks/`` commits a baseline file at the
+repo root that the CI gates re-measure against.  The harnesses evolved
+independently, so this tier pins the *shared* envelope: every committed
+baseline must carry the same core keys (schema tag, provenance, the runs
+table), its schema tag must match the ``bench_<name>/v<N>`` convention, and
+the runs table must be a non-empty list of dicts.  A new benchmark that
+forgets the envelope fails here, before its CI job ever runs.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The envelope every committed baseline shares, whatever else it measures.
+REQUIRED_KEYS = {"schema", "created", "label", "platform", "python", "quick", "runs"}
+
+SCHEMA_RE = re.compile(r"^bench_[a-z0-9_]+/v\d+$")
+
+BENCH_FILES = sorted(REPO_ROOT.glob("BENCH_*.json"))
+
+
+def _load(path: Path) -> dict:
+    with path.open("r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def test_at_least_one_baseline_committed():
+    assert BENCH_FILES, "no BENCH_*.json baselines found at the repo root"
+
+
+@pytest.mark.parametrize("path", BENCH_FILES, ids=lambda p: p.name)
+def test_baseline_has_shared_envelope(path: Path):
+    data = _load(path)
+    missing = REQUIRED_KEYS - set(data)
+    assert not missing, f"{path.name} missing required keys: {sorted(missing)}"
+
+
+@pytest.mark.parametrize("path", BENCH_FILES, ids=lambda p: p.name)
+def test_baseline_schema_tag_convention(path: Path):
+    data = _load(path)
+    schema = data["schema"]
+    assert SCHEMA_RE.match(schema), f"{path.name}: schema tag {schema!r} not bench_<name>/v<N>"
+    # The tag's name component must match the file it lives in, so a
+    # copy-pasted harness can't commit a baseline under the wrong identity.
+    name = schema.split("/")[0]
+    assert path.name == f"BENCH_{name.removeprefix('bench_')}.json", (
+        f"{path.name}: schema tag {schema!r} does not match the file name"
+    )
+
+
+@pytest.mark.parametrize("path", BENCH_FILES, ids=lambda p: p.name)
+def test_baseline_runs_table_shape(path: Path):
+    data = _load(path)
+    runs = data["runs"]
+    assert isinstance(runs, list) and runs, f"{path.name}: runs must be a non-empty list"
+    assert all(isinstance(row, dict) for row in runs), f"{path.name}: runs rows must be dicts"
+
+
+@pytest.mark.parametrize("path", BENCH_FILES, ids=lambda p: p.name)
+def test_baseline_provenance_types(path: Path):
+    data = _load(path)
+    assert isinstance(data["quick"], bool), f"{path.name}: quick must be a bool"
+    for key in ("created", "label", "platform", "python"):
+        assert isinstance(data[key], str) and data[key], f"{path.name}: {key} must be a non-empty string"

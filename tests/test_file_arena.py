@@ -1,0 +1,242 @@
+"""File-backed arena tests (`repro.parallel.shm` scale-out tier).
+
+Two concerns share this module:
+
+* lifecycle edge cases **parametrized over both arena kinds** — the shm and
+  the file substrates must behave identically for attach-after-unlink,
+  double close, zero-length arrays and the process-wide
+  :func:`open_segment_count` leak accounting (with the one deliberate
+  asymmetry: a *closed* file arena is persistence, not a leak);
+* manifest persistence — the warm-restart contract: a second arena opened
+  over the same directory re-adopts the previous generation's segments by
+  content digest, so re-exporting rebuilt-but-equal payloads returns the
+  already-mapped refs instead of copying.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.parallel.shm import (
+    ArenaError,
+    FileArena,
+    SharedArena,
+    arena_scope,
+    attach,
+    open_segment_count,
+)
+
+
+@pytest.fixture(params=["shm", "file"])
+def make_arena(request, tmp_path):
+    """Factory building a fresh arena of the parametrized kind."""
+    counter = {"n": 0}
+
+    def factory() -> SharedArena:
+        if request.param == "shm":
+            return SharedArena(content_dedup=True)
+        counter["n"] += 1
+        return SharedArena(content_dedup=True, path=str(tmp_path / f"arena{counter['n']}"))
+
+    factory.kind = request.param
+    return factory
+
+
+class TestLifecycleBothKinds:
+    def test_kind_reported(self, make_arena):
+        arena = make_arena()
+        try:
+            assert arena.kind == make_arena.kind
+        finally:
+            arena.unlink()
+
+    def test_round_trip(self, make_arena):
+        arena = make_arena()
+        try:
+            src = np.arange(64, dtype=np.int64)
+            view = attach(arena.export(src))
+            assert np.array_equal(view, src)
+            assert not view.flags.writeable
+        finally:
+            arena.unlink()
+
+    def test_attach_after_unlink_raises(self, make_arena):
+        arena = make_arena()
+        ref = arena.export(np.arange(16))
+        assert np.array_equal(attach(ref), np.arange(16))
+        arena.unlink()
+        with pytest.raises(FileNotFoundError):
+            attach(ref)
+
+    def test_double_close_and_double_unlink_are_safe(self, make_arena):
+        arena = make_arena()
+        arena.export(np.arange(4))
+        arena.close()
+        arena.close()
+        arena.unlink()
+        arena.unlink()
+
+    def test_export_after_unlink_raises(self, make_arena):
+        arena = make_arena()
+        arena.unlink()
+        with pytest.raises(ArenaError):
+            arena.export(np.arange(3))
+
+    def test_zero_length_array_has_no_segment(self, make_arena):
+        arena = make_arena()
+        try:
+            ref = arena.export(np.empty(0, dtype=np.float64))
+            assert ref.name is None
+            assert arena.n_segments == 0
+            view = attach(ref)
+            assert view.shape == (0,)
+            assert view.dtype == np.float64
+        finally:
+            arena.unlink()
+
+    def test_bundle_dedup_within_arena(self, make_arena):
+        arena = make_arena()
+        try:
+            a = np.arange(32, dtype=np.int64)
+            refs1 = arena.export_bundle({"a": a})
+            refs2 = arena.export_bundle({"a": a.copy()})
+            assert refs1["a"] is refs2["a"]
+            assert arena.n_segments == 1
+        finally:
+            arena.unlink()
+
+    def test_open_segment_count_tracks_unlink(self, make_arena):
+        base = open_segment_count()
+        arena = make_arena()
+        arena.export_bundle({"a": np.arange(8), "b": np.arange(50, dtype=np.float64)})
+        assert open_segment_count() == base + arena.n_segments
+        arena.unlink()
+        assert open_segment_count() == base
+
+
+class TestOpenSegmentCountAsymmetry:
+    def test_closed_shm_arena_still_counts(self):
+        # A closed (but not unlinked) shm arena still holds kernel-backed
+        # segments — that *is* a leak until someone unlinks.
+        base = open_segment_count()
+        arena = SharedArena()
+        arena.export(np.arange(8))
+        arena.close()
+        assert open_segment_count() == base + 1
+        arena.unlink()
+        assert open_segment_count() == base
+
+    def test_closed_file_arena_is_persistence_not_leak(self, tmp_path):
+        base = open_segment_count()
+        arena = SharedArena(path=str(tmp_path / "arena"))
+        arena.export(np.arange(8))
+        assert open_segment_count() == base + 1
+        arena.close()
+        # Closed file-backed segments live on disk by design.
+        assert open_segment_count() == base
+
+
+class TestManifestPersistence:
+    def test_warm_restart_adopts_by_digest(self, tmp_path):
+        d = str(tmp_path / "arena")
+        payload = {
+            "indptr": np.arange(11, dtype=np.int64),
+            "weights": np.linspace(0.0, 1.0, 10),
+        }
+        gen1 = SharedArena(path=d)
+        refs1 = gen1.export_bundle(payload)
+        segs1 = gen1.n_segments
+        gen1.close()
+
+        gen2 = SharedArena(path=d)
+        try:
+            # Adoption restores the digest table: re-exporting equal content
+            # returns refs onto the previous generation's mapped files
+            # without creating new segments.
+            assert gen2.n_segments == segs1
+            refs2 = gen2.export_bundle({k: v.copy() for k, v in payload.items()})
+            assert gen2.n_segments == segs1
+            for key in payload:
+                assert refs2[key].name == refs1[key].name
+                assert refs2[key].kind == "file"
+                assert np.array_equal(attach(refs2[key]), payload[key])
+        finally:
+            gen2.unlink()
+
+    def test_file_arena_alias(self, tmp_path):
+        d = str(tmp_path / "arena")
+        arena = FileArena(d)
+        try:
+            assert arena.kind == "file"
+            assert arena.path == os.path.abspath(d)
+            ref = arena.export(np.arange(5))
+            assert ref.kind == "file"
+        finally:
+            arena.unlink()
+
+    def test_unlink_purges_directory_state(self, tmp_path):
+        d = tmp_path / "arena"
+        arena = SharedArena(path=str(d))
+        arena.export(np.arange(12))
+        assert any(d.glob("seg-*.bin"))
+        assert (d / "manifest.json").exists()
+        arena.unlink()
+        assert not any(d.glob("seg-*.bin"))
+        assert not (d / "manifest.json").exists()
+
+    def test_malformed_manifest_is_ignored(self, tmp_path):
+        d = tmp_path / "arena"
+        d.mkdir()
+        (d / "manifest.json").write_text("not json at all", encoding="utf-8")
+        arena = SharedArena(path=str(d))
+        try:
+            assert arena.n_segments == 0
+            arena.export(np.arange(3))
+        finally:
+            arena.unlink()
+
+    def test_wrong_schema_manifest_is_ignored(self, tmp_path):
+        d = tmp_path / "arena"
+        d.mkdir()
+        (d / "manifest.json").write_text(
+            json.dumps({"schema": "arena-manifest/v999", "refs": []}), encoding="utf-8"
+        )
+        arena = SharedArena(path=str(d))
+        try:
+            assert arena.n_segments == 0
+        finally:
+            arena.unlink()
+
+    def test_manifest_entry_with_missing_file_is_skipped(self, tmp_path):
+        d = str(tmp_path / "arena")
+        gen1 = SharedArena(path=d)
+        ref = gen1.export(np.arange(20, dtype=np.int64))
+        gen1.close()
+        os.unlink(ref.name)  # the segment vanished between generations
+
+        gen2 = SharedArena(path=d)
+        try:
+            assert gen2.n_segments == 0
+            # The digest no longer resolves, so an equal export re-creates.
+            fresh = gen2.export(np.arange(20, dtype=np.int64))
+            assert fresh.name != ref.name
+            assert np.array_equal(attach(fresh), np.arange(20))
+        finally:
+            gen2.unlink()
+
+    def test_arena_scope_with_path_persists(self, tmp_path):
+        d = str(tmp_path / "arena")
+        with arena_scope(path=d) as arena:
+            ref = arena.export(np.arange(9))
+            assert arena.kind == "file"
+        # Scope exit closed (persisted) rather than unlinked.
+        assert os.path.exists(ref.name)
+        follow = SharedArena(path=d)
+        try:
+            assert follow.n_segments == 1
+        finally:
+            follow.unlink()

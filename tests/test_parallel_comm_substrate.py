@@ -155,7 +155,9 @@ class TestRunner:
     def test_backends_listed(self):
         # The single source of truth for run_spmd AND parallel_map; the
         # process backends joined the list with the shared-memory runtime.
-        assert available_backends() == ["serial", "thread", "process", "process-shm"]
+        assert available_backends() == [
+            "serial", "thread", "process", "process-shm", "process-sock"
+        ]
 
     def test_unknown_backend_errors_name_the_backends(self):
         with pytest.raises(ValueError, match="process-shm"):
