@@ -235,9 +235,11 @@ class CSRGraph:
         np.cumsum(deg, out=indptr[1:])
         del deg
         total = int(indptr[-1])
-        if out is not None:
+        if out is not None and total:
             indices = np.memmap(out, dtype=np.int64, mode="w+", shape=(total,))
         else:
+            # mmap rejects zero-length files: an empty stream with out=...
+            # degrades to the (trivially small) in-memory buffer.
             indices = np.empty(total, dtype=np.int64)
 
         # Pass 2: scatter each chunk's half-edges behind per-row cursors.

@@ -57,10 +57,15 @@ import threading
 import uuid
 import weakref
 from collections import OrderedDict
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Any, Iterator, Mapping, Optional, Union
+
+try:  # POSIX only; file-backed manifests fall back to best-effort elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
 
 import numpy as np
 
@@ -228,6 +233,29 @@ class SharedArena:
         assert self._path is not None
         return os.path.join(self._path, "manifest.json")
 
+    @contextmanager
+    def _manifest_lock(self) -> Iterator[None]:
+        """Cross-process exclusive lock over the arena directory's manifest.
+
+        ``run_batch(jobs>1)`` hands the same ``arena_dir`` to concurrent
+        worker processes, each with its own arena generation; every manifest
+        read-modify-write (adopt, save, unlink) runs under an ``flock`` on a
+        sidecar lockfile so concurrent writers serialize instead of
+        last-writer-wins dropping each other's entries.  The lockfile itself
+        is never deleted — unlinking it while a sibling holds the ``fd``
+        would silently split the lock across two inodes.
+        """
+        assert self._path is not None
+        fd = os.open(os.path.join(self._path, ".manifest.lock"), os.O_CREAT | os.O_RDWR, 0o600)
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
     def _adopt_manifest(self) -> None:
         """Adopt the previous generation's segments from ``path/manifest.json``.
 
@@ -236,58 +264,82 @@ class SharedArena:
         to the old file instead of copying — the warm-restart fast path.
         Missing segment files (a partially purged directory) are skipped;
         a malformed or foreign-schema manifest is ignored entirely, and the
-        arena starts fresh and overwrites it on its next export.
+        arena starts fresh and overwrites it on its next export.  The whole
+        adopt holds the manifest lock so a concurrent generation's save (or
+        unlink) cannot swap files out from under the mapping pass.
         """
-        try:
-            with open(self._manifest_file, encoding="utf-8") as fh:
-                manifest = json.load(fh)
-        except (OSError, ValueError):
-            return
-        if manifest.get("schema") != self.MANIFEST_SCHEMA:
-            return
-        opened: dict[str, _FileSegment] = {}
-        for entry in manifest.get("refs", ()):
+        with self._manifest_lock():
             try:
-                file_path = os.path.join(self._path, entry["file"])
-                seg = opened.get(file_path)
-                if seg is None:
-                    seg = _FileSegment(file_path)
-                    opened[file_path] = seg
-                    self._segments.append(seg)
-                ref = ArenaRef(
-                    name=file_path,
-                    dtype=entry["dtype"],
-                    shape=tuple(entry["shape"]),
-                    offset=int(entry["offset"]),
-                    kind="file",
-                )
-                key = (bytes.fromhex(entry["digest"]), ref.dtype, ref.shape)
-                self._by_digest[key] = ref
-            except (OSError, KeyError, TypeError, ValueError):
-                continue
+                with open(self._manifest_file, encoding="utf-8") as fh:
+                    manifest = json.load(fh)
+            except (OSError, ValueError):
+                return
+            if manifest.get("schema") != self.MANIFEST_SCHEMA:
+                return
+            opened: dict[str, _FileSegment] = {}
+            for entry in manifest.get("refs", ()):
+                try:
+                    file_path = os.path.join(self._path, entry["file"])
+                    seg = opened.get(file_path)
+                    if seg is None:
+                        seg = _FileSegment(file_path)
+                        opened[file_path] = seg
+                        self._segments.append(seg)
+                    ref = ArenaRef(
+                        name=file_path,
+                        dtype=entry["dtype"],
+                        shape=tuple(entry["shape"]),
+                        offset=int(entry["offset"]),
+                        kind="file",
+                    )
+                    key = (bytes.fromhex(entry["digest"]), ref.dtype, ref.shape)
+                    self._by_digest[key] = ref
+                except (OSError, KeyError, TypeError, ValueError):
+                    continue
 
     def _save_manifest(self) -> None:
-        """Atomically publish the digest index (called under ``self._lock``)."""
-        refs = []
-        for key, ref in self._by_digest.items():
-            if ref.name is None or ref.kind != "file":
-                continue
-            refs.append(
-                {
+        """Atomically publish the digest index (called under ``self._lock``).
+
+        The write is a locked read-merge-replace, not a blind overwrite:
+        entries already on disk whose segment files still exist are kept, so
+        concurrent arena generations sharing one directory (batch ``jobs>1``)
+        append to a common manifest instead of each clobbering the others'
+        exports.  This process's own index wins on digest collisions.
+        """
+        merged: dict[tuple, dict] = {}
+        with self._manifest_lock():
+            try:
+                with open(self._manifest_file, encoding="utf-8") as fh:
+                    on_disk = json.load(fh)
+            except (OSError, ValueError):
+                on_disk = None
+            if isinstance(on_disk, dict) and on_disk.get("schema") == self.MANIFEST_SCHEMA:
+                for entry in on_disk.get("refs", ()):
+                    try:
+                        key = (entry["digest"], entry["dtype"], tuple(entry["shape"]))
+                        if os.path.exists(os.path.join(self._path, entry["file"])):
+                            merged[key] = entry
+                    except (KeyError, TypeError):
+                        continue
+            for key, ref in self._by_digest.items():
+                if ref.name is None or ref.kind != "file":
+                    continue
+                merged[(key[0].hex(), key[1], tuple(key[2]))] = {
                     "digest": key[0].hex(),
                     "dtype": ref.dtype,
                     "shape": list(ref.shape),
                     "file": os.path.basename(ref.name),
                     "offset": ref.offset,
                 }
+            blob = json.dumps(
+                {"schema": self.MANIFEST_SCHEMA, "refs": list(merged.values())}, sort_keys=True
             )
-        blob = json.dumps({"schema": self.MANIFEST_SCHEMA, "refs": refs}, sort_keys=True)
-        tmp = self._manifest_file + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            fh.write(blob)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, self._manifest_file)
+            tmp = f"{self._manifest_file}.tmp-{os.getpid()}"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(blob)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self._manifest_file)
 
     def _new_segment(self, size: int) -> Union[shared_memory.SharedMemory, _FileSegment]:
         if self._path is None:
@@ -437,7 +489,12 @@ class SharedArena:
         Attached workers keep their existing views alive — POSIX frees the
         memory when the last handle closes — but new :func:`attach` calls on
         refs of this arena raise ``FileNotFoundError``.  A file-backed
-        arena's segment files and manifest are deleted from disk.
+        arena's segment files and manifest are deleted from disk — a purge
+        of the *directory*, so it is an owner-only operation: call it when
+        no concurrent process is still exporting into / attaching from the
+        same ``path`` (the manifest lock serializes it against in-flight
+        adopts and saves, but cannot resurrect files for refs a sibling
+        already handed out).
         """
         self.close()
         with self._lock:
@@ -445,21 +502,23 @@ class SharedArena:
                 return
             self._unlinked = True
             names = []
-            for seg in self._segments:
-                names.append(seg.name)
-                try:
-                    seg.unlink()
-                except FileNotFoundError:  # pragma: no cover - already gone
-                    pass
-            self._segments.clear()
-            self._by_id.clear()
-            if self._by_digest is not None:
-                self._by_digest.clear()
-            if self._path is not None:
-                try:
-                    os.unlink(self._manifest_file)
-                except FileNotFoundError:
-                    pass
+            purge_guard = self._manifest_lock() if self._path is not None else nullcontext()
+            with purge_guard:
+                for seg in self._segments:
+                    names.append(seg.name)
+                    try:
+                        seg.unlink()
+                    except FileNotFoundError:  # pragma: no cover - already gone
+                        pass
+                self._segments.clear()
+                self._by_id.clear()
+                if self._by_digest is not None:
+                    self._by_digest.clear()
+                if self._path is not None:
+                    try:
+                        os.unlink(self._manifest_file)
+                    except FileNotFoundError:
+                        pass
         # Drop this process's cached attachments of the destroyed segments so
         # an attach-after-unlink fails here exactly like it does in a worker.
         _evict_attached(names)

@@ -33,6 +33,24 @@ scripts share one configuration surface):
     how long the hub waits for enough workers / a worker retries the
     connect (seconds, default 30).  Workers may start before the hub —
     the connect loop retries until the deadline.
+``REPRO_SOCK_AUTHKEY``
+    the shared secret for the connection handshake (see below).  Required
+    on *both* hub and workers in the external-worker deployment; locally
+    spawned workers inherit the parent's ``multiprocessing`` authkey and
+    need no configuration.
+
+Trust model: frames are pickled, and unpickling attacker bytes is arbitrary
+code execution, so the hub never reads a frame from an unauthenticated
+peer.  Every accepted connection starts with an HMAC-SHA256 challenge/
+response (the :mod:`multiprocessing.connection` scheme): the hub sends a
+random nonce, the worker answers with ``HMAC(key, nonce)``, and a wrong or
+missing digest closes the connection before the first pickle ever crosses
+it.  The key is ``REPRO_SOCK_AUTHKEY`` when set, else the process's
+``multiprocessing`` authkey — which locally spawned workers inherit, so the
+default single-host mode is authenticated out of the box, while two
+unrelated processes (or hosts) only talk once both export the same
+``REPRO_SOCK_AUTHKEY``.  The handshake authenticates; it does not encrypt —
+run cross-host traffic over a trusted network or a tunnel.
 
 Failure taxonomy matches the queue backends: a worker that dies mid-round
 surfaces as :class:`~repro.parallel.runner.DeadRankError` (retryable — the
@@ -46,6 +64,7 @@ raise ``OSError`` and are degradable down the backend ladder.  Fault sites:
 from __future__ import annotations
 
 import atexit
+import hmac
 import multiprocessing
 import os
 import pickle
@@ -128,6 +147,77 @@ def _recv_frame(sock_obj: socket.socket) -> tuple[Any, bytes]:
     blob = _recv_exact(sock_obj, length)
     fault_point("sock.recv", nbytes=length)
     return pickle.loads(blob), blob
+
+
+# ----------------------------------------------------------------------
+# authentication handshake
+# ----------------------------------------------------------------------
+# HMAC-SHA256 challenge/response before the first pickle frame, using the
+# multiprocessing.connection scheme.  The handshake speaks raw length-
+# prefixed *bytes* — never pickle — because its whole point is to refuse
+# to unpickle anything from an unauthenticated peer.
+_CHALLENGE = b"#REPRO_CHALLENGE#"
+_WELCOME = b"#REPRO_WELCOME#"
+_FAILURE = b"#REPRO_FAILURE#"
+_NONCE_LEN = 32
+_HANDSHAKE_MAX = 1 << 12  # handshake frames are tiny; cap before reading
+_HANDSHAKE_TIMEOUT = 10.0
+
+
+def _authkey() -> bytes:
+    """The handshake secret: ``REPRO_SOCK_AUTHKEY``, else the process authkey.
+
+    Locally spawned workers inherit the parent's ``multiprocessing`` authkey,
+    so the default matches hub-side automatically; external workers must set
+    ``REPRO_SOCK_AUTHKEY`` on both sides.
+    """
+    raw = os.environ.get("REPRO_SOCK_AUTHKEY")
+    if raw:
+        return raw.encode("utf-8")
+    return bytes(multiprocessing.current_process().authkey)
+
+
+def _send_raw(sock_obj: socket.socket, blob: bytes) -> None:
+    sock_obj.sendall(_LEN.pack(len(blob)) + blob)
+
+
+def _recv_raw(sock_obj: socket.socket) -> bytes:
+    (length,) = _LEN.unpack(_recv_exact(sock_obj, _LEN.size))
+    if length > _HANDSHAKE_MAX:
+        raise ConnectionError("oversized handshake frame")
+    return _recv_exact(sock_obj, length)
+
+
+def _deliver_challenge(sock_obj: socket.socket) -> bool:
+    """Hub side: challenge a fresh connection; ``True`` iff it proves the key."""
+    try:
+        sock_obj.settimeout(_HANDSHAKE_TIMEOUT)
+        nonce = os.urandom(_NONCE_LEN)
+        _send_raw(sock_obj, _CHALLENGE + nonce)
+        digest = _recv_raw(sock_obj)
+        expected = hmac.new(_authkey(), nonce, "sha256").digest()
+        if not hmac.compare_digest(digest, expected):
+            _send_raw(sock_obj, _FAILURE)
+            return False
+        _send_raw(sock_obj, _WELCOME)
+        sock_obj.settimeout(None)
+        return True
+    except (OSError, ConnectionError, struct.error):
+        return False
+
+
+def _answer_challenge(sock_obj: socket.socket) -> None:
+    """Worker side: answer the hub's challenge or raise ``ConnectionError``."""
+    blob = _recv_raw(sock_obj)
+    if not blob.startswith(_CHALLENGE):
+        raise ConnectionError("hub did not open with an auth challenge")
+    _send_raw(sock_obj, hmac.new(_authkey(), blob[len(_CHALLENGE):], "sha256").digest())
+    if _recv_raw(sock_obj) != _WELCOME:
+        raise ConnectionError(
+            "hub rejected this worker's auth digest — hub and workers must share "
+            "one key (export the same REPRO_SOCK_AUTHKEY on both sides for "
+            "externally launched workers)"
+        )
 
 
 # ----------------------------------------------------------------------
@@ -259,6 +349,9 @@ class _Worker:
                 if time.monotonic() >= deadline:
                     raise
                 time.sleep(0.1)
+        # Prove knowledge of the shared key before the hub will read (or
+        # send) any pickle frame; the connect timeout still governs this.
+        _answer_challenge(self._sock)
         self._sock.settimeout(None)
         self._send_lock = threading.Lock()
         self._ctl: "queue.SimpleQueue[tuple]" = queue.SimpleQueue()
@@ -423,6 +516,7 @@ class SockWorkerPool:
         self._round_results: dict[int, dict[int, tuple]] = {}
         self._barriers: dict[tuple[int, int], set[int]] = {}
         self._task_results: dict[int, tuple] = {}
+        self._live_tasks: set[int] = set()  # tids whose results anyone still wants
         self._round_mutex = threading.Lock()  # one round / map at a time
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="sock-accept", daemon=True
@@ -442,14 +536,25 @@ class SockWorkerPool:
             ).start()
 
     def _conn_loop(self, conn: _WorkerConn) -> None:
+        if not _deliver_challenge(conn.sock):
+            # Unauthenticated peer: drop it before reading a single pickle
+            # frame.  It was never registered, so nothing to mark dead.
+            try:
+                conn.sock.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+            return
         try:
             while True:
                 frame, raw = _recv_frame(conn.sock)
                 self._dispatch(conn, frame, raw)
         except Exception:
-            with self._cv:
-                conn.alive = False
-                self._cv.notify_all()
+            self._mark_conn_dead(conn)
+
+    def _mark_conn_dead(self, conn: _WorkerConn) -> None:
+        with self._cv:
+            conn.alive = False
+            self._cv.notify_all()
 
     def _dispatch(self, conn: _WorkerConn, frame: tuple, raw: bytes) -> None:
         kind = frame[0]
@@ -464,8 +569,14 @@ class SockWorkerPool:
                 ranks = self._round_ranks.get(rid)
                 target = ranks[dest] if ranks is not None and 0 <= dest < len(ranks) else None
             if target is not None:
-                # Forward the exact wire bytes — no re-pickling pass.
-                _send_frame(target.sock, None, target.lock, raw=raw)
+                # Forward the exact wire bytes — no re-pickling pass.  A send
+                # failure means the *destination* died: mark it dead rather
+                # than letting the exception escape into this (healthy)
+                # sender's _conn_loop and kill the wrong connection.
+                try:
+                    _send_frame(target.sock, None, target.lock, raw=raw)
+                except OSError:
+                    self._mark_conn_dead(target)
         elif kind == "barrier":
             _, rid, rank, gen = frame
             release = False
@@ -479,7 +590,10 @@ class SockWorkerPool:
                         release = True
             if release:
                 for peer in ranks:
-                    _send_frame(peer.sock, ("barrier_release", rid, gen), peer.lock)
+                    try:
+                        _send_frame(peer.sock, ("barrier_release", rid, gen), peer.lock)
+                    except OSError:
+                        self._mark_conn_dead(peer)
         elif kind == "result":
             _, rid, rank, status, a, b = frame
             with self._cv:
@@ -489,8 +603,12 @@ class SockWorkerPool:
                     self._cv.notify_all()
         elif kind == "task_result":
             with self._cv:
-                self._task_results[frame[1]] = frame[2:]
-                self._cv.notify_all()
+                # Results of maps that already returned (error fast-path) are
+                # dropped, not stored: a long-lived hub must not accumulate
+                # stale entries for task ids nobody will ever collect.
+                if frame[1] in self._live_tasks:
+                    self._task_results[frame[1]] = frame[2:]
+                    self._cv.notify_all()
 
     def _alive_workers(self) -> list[_WorkerConn]:
         return [w for w in self._workers if w.alive]
@@ -640,38 +758,47 @@ class SockWorkerPool:
             with self._mu:
                 first = self._task_seq + 1
                 self._task_seq += len(payloads)
-            task_ids = list(range(first, first + len(payloads)))
-            for i, ((fn, item_args), tid) in enumerate(zip(payloads, task_ids)):
-                conn = conns[i % len(conns)]
-                _send_frame(conn.sock, ("task", tid, fn, item_args), conn.lock)
+                task_ids = list(range(first, first + len(payloads)))
+                self._live_tasks.update(task_ids)
             error: Optional[tuple[str, str]] = None
             dead: Optional[list[str]] = None
             out: Optional[list[Any]] = None
-            with self._cv:
-                while True:
-                    done = [tid for tid in task_ids if tid in self._task_results]
-                    for tid in done:
-                        item = self._task_results[tid]
-                        if item[0] == "error":
-                            error = (item[1], item[2])
+            try:
+                for i, ((fn, item_args), tid) in enumerate(zip(payloads, task_ids)):
+                    conn = conns[i % len(conns)]
+                    _send_frame(conn.sock, ("task", tid, fn, item_args), conn.lock)
+                with self._cv:
+                    while True:
+                        done = [tid for tid in task_ids if tid in self._task_results]
+                        for tid in done:
+                            item = self._task_results[tid]
+                            if item[0] == "error":
+                                error = (item[1], item[2])
+                                break
+                        if error is not None:
                             break
-                    if error is not None:
-                        break
-                    if len(done) == len(task_ids):
-                        out = [self._task_results.pop(tid)[1] for tid in task_ids]
-                        break
-                    if any(not c.alive for c in conns):
-                        # Drain grace: results already in flight may still land.
-                        self._cv.wait(timeout=SOCK_DRAIN_TIMEOUT)
-                        if any(tid not in self._task_results for tid in task_ids) and any(
-                            not c.alive for c in conns
-                        ):
-                            dead = [c.name for c in conns if not c.alive]
+                        if len(done) == len(task_ids):
+                            out = [self._task_results.pop(tid)[1] for tid in task_ids]
                             break
-                        continue
-                    self._cv.wait(timeout=watchdog_poll())
-                for t in task_ids:
-                    self._task_results.pop(t, None)
+                        if any(not c.alive for c in conns):
+                            # Drain grace: results already in flight may still land.
+                            self._cv.wait(timeout=SOCK_DRAIN_TIMEOUT)
+                            if any(tid not in self._task_results for tid in task_ids) and any(
+                                not c.alive for c in conns
+                            ):
+                                dead = [c.name for c in conns if not c.alive]
+                                break
+                            continue
+                        self._cv.wait(timeout=watchdog_poll())
+            finally:
+                # Retire this map's task ids no matter how it exits: late
+                # results of abandoned tasks (error fast-path, a died worker,
+                # a failed scatter) are dropped at dispatch instead of
+                # accumulating across a long-lived process's future maps.
+                with self._cv:
+                    self._live_tasks.difference_update(task_ids)
+                    for t in task_ids:
+                        self._task_results.pop(t, None)
             if dead is not None:
                 # shutdown_sock_pool re-acquires this pool's locks — it must
                 # run outside the condition block above.

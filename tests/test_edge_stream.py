@@ -121,6 +121,15 @@ class TestValidation:
         assert g.n_edges == 0
         assert np.array_equal(g.indptr, np.zeros(5, dtype=np.int64))
 
+    def test_empty_stream_with_out(self, tmp_path):
+        # mmap cannot back a zero-length file: out= must degrade to the
+        # in-memory buffer instead of crashing on an empty stream.
+        out = str(tmp_path / "indices.bin")
+        g = CSRGraph.from_edge_stream(4, lambda: iter(()), out=out)
+        assert g.n_vertices == 4
+        assert g.n_edges == 0
+        assert np.array_equal(g.indptr, np.zeros(5, dtype=np.int64))
+
 
 class TestOutOfCore:
     def test_memmap_out_matches_in_ram(self, tmp_path):

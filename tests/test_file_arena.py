@@ -167,6 +167,38 @@ class TestManifestPersistence:
         finally:
             gen2.unlink()
 
+    def test_concurrent_generations_merge_instead_of_clobber(self, tmp_path):
+        # Two arena generations over the same directory (batch jobs>1 hands
+        # one arena_dir to several worker processes): each saves the manifest
+        # knowing only its own exports, and a blind overwrite would drop the
+        # sibling's entries.  The locked read-merge-replace must keep both.
+        d = str(tmp_path / "arena")
+        a = SharedArena(path=d)
+        b = SharedArena(path=d)  # opened before a exports: adopts nothing
+        x = np.arange(20, dtype=np.int64)
+        y = np.linspace(0.0, 1.0, 15)
+        try:
+            ref_x = a.export(x)
+            ref_y = b.export(y)  # b's save must not clobber a's entry
+            with open(os.path.join(d, "manifest.json"), encoding="utf-8") as fh:
+                files = {entry["file"] for entry in json.load(fh)["refs"]}
+            assert os.path.basename(ref_x.name) in files
+            assert os.path.basename(ref_y.name) in files
+
+            # A third generation adopts the merged manifest: re-exports of
+            # both payloads are digest hits onto the existing files.
+            c = SharedArena(path=d)
+            try:
+                segs = c.n_segments
+                assert c.export(x.copy()).name == ref_x.name
+                assert c.export(y.copy()).name == ref_y.name
+                assert c.n_segments == segs
+            finally:
+                c.close()
+        finally:
+            a.close()
+            b.unlink()
+
     def test_file_arena_alias(self, tmp_path):
         d = str(tmp_path / "arena")
         arena = FileArena(d)

@@ -17,6 +17,9 @@ from __future__ import annotations
 
 import multiprocessing
 import operator
+import pickle
+import socket
+import time
 
 import numpy as np
 import pytest
@@ -27,7 +30,20 @@ from repro.faults import FaultPlan, active_plan
 from repro.graph.generators import correlation_like_graph
 from repro.parallel.comm import ProcComm
 from repro.parallel.runner import available_backends, parallel_map, run_spmd
-from repro.parallel.sock import shutdown_sock_pool, sock_pool_size
+from repro.parallel.sock import (
+    SockWorkerPool,
+    _answer_challenge,
+    _CHALLENGE,
+    _FAILURE,
+    _recv_frame,
+    _recv_raw,
+    _send_frame,
+    _send_raw,
+    _WorkerConn,
+    get_sock_pool,
+    shutdown_sock_pool,
+    sock_pool_size,
+)
 
 ORDERINGS = ["natural", "high_degree", "low_degree", "rcm"]
 PARTITIONERS = ["block", "hash", "bfs", "greedy"]
@@ -116,6 +132,110 @@ class TestSockMap:
         items = list(range(12))
         got = parallel_map(_square, [(x,) for x in items], backend="process-sock")
         assert got == [x * x for x in items]
+
+    def test_map_leaves_no_task_residue(self):
+        # A long-lived hub (repro serve) must not accumulate per-map state.
+        parallel_map(_square, [(x,) for x in range(4)], backend="process-sock")
+        pool = get_sock_pool()
+        with pool._cv:
+            assert pool._task_results == {}
+            assert pool._live_tasks == set()
+
+
+class TestAuthHandshake:
+    """The hub must never unpickle bytes from an unauthenticated peer."""
+
+    def test_unauthenticated_peer_is_dropped_before_any_frame(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SOCK_AUTHKEY", "right-key")
+        pool = SockWorkerPool(spawn=False)
+        try:
+            with socket.create_connection(("127.0.0.1", pool.port), timeout=10) as s:
+                s.settimeout(10)
+                # The hub speaks first — a challenge, never a frame read.
+                blob = _recv_raw(s)
+                assert blob.startswith(_CHALLENGE)
+                _send_raw(s, b"not-the-right-digest")
+                assert _recv_raw(s) == _FAILURE
+                # The connection is closed without ever being registered.
+                try:
+                    leftover = s.recv(1)
+                except OSError:
+                    leftover = b""
+                assert leftover == b""
+            assert pool.n_workers() == 0
+        finally:
+            pool.shutdown()
+
+    def test_shared_env_key_admits_worker(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SOCK_AUTHKEY", "right-key")
+        pool = SockWorkerPool(spawn=False)
+        try:
+            with socket.create_connection(("127.0.0.1", pool.port), timeout=10) as s:
+                s.settimeout(10)
+                _answer_challenge(s)  # same process, same env key
+                _send_frame(s, ("hello", 12345))
+                deadline = time.monotonic() + 10
+                while pool.n_workers() < 1:
+                    assert time.monotonic() < deadline, "authenticated hello not registered"
+                    time.sleep(0.01)
+        finally:
+            pool.shutdown()
+
+
+class TestHubForwardIsolation:
+    """A dead *destination* must not take the healthy sender's conn down."""
+
+    def _two_conns(self):
+        a1, b1 = socket.socketpair()
+        a2, b2 = socket.socketpair()
+        sender = _WorkerConn(a1, "sender")
+        target = _WorkerConn(a2, "target")
+        return sender, b1, target, b2
+
+    def test_dead_destination_marks_target_not_sender(self):
+        pool = SockWorkerPool(spawn=False)
+        sender, sender_peer, target, target_peer = self._two_conns()
+        try:
+            target.sock.close()  # the destination died
+            with pool._mu:
+                pool._round_ranks[99] = [sender, target]
+            frame = ("msg", 99, 1, 0, 7, None)
+            pool._dispatch(sender, frame, pickle.dumps(frame))
+            assert target.alive is False
+            assert sender.alive is True
+        finally:
+            for s in (sender.sock, sender_peer, target_peer):
+                s.close()
+            pool.shutdown()
+
+    def test_barrier_release_skips_dead_peer(self):
+        pool = SockWorkerPool(spawn=False)
+        sender, sender_peer, target, target_peer = self._two_conns()
+        try:
+            target.sock.close()
+            with pool._mu:
+                pool._round_ranks[99] = [sender, target]
+            pool._dispatch(sender, ("barrier", 99, 0, 0), b"")
+            pool._dispatch(target, ("barrier", 99, 1, 0), b"")
+            assert target.alive is False
+            assert sender.alive is True
+            # The live peer still received its release frame.
+            sender_peer.settimeout(10)
+            obj, _raw = _recv_frame(sender_peer)
+            assert obj == ("barrier_release", 99, 0)
+        finally:
+            for s in (sender.sock, sender_peer, target_peer):
+                s.close()
+            pool.shutdown()
+
+    def test_stale_task_result_is_dropped(self):
+        pool = SockWorkerPool(spawn=False)
+        try:
+            pool._dispatch(None, ("task_result", 999, "ok", 42), b"")
+            with pool._cv:
+                assert pool._task_results == {}
+        finally:
+            pool.shutdown()
 
 
 class TestCommFilterLatinSquarePin:
