@@ -1,0 +1,279 @@
+#!/usr/bin/env python
+"""Delta-update vs cold-rebuild benchmark for the incremental recompute engine.
+
+Measures what :mod:`repro.incremental` actually buys a warm service: a bundle
+that has absorbed a history of dataset mutations can take the *next* mutation
+as a structural-sharing delta (:func:`apply_update`), while the only correct
+alternative for cold machinery is a full reference rebuild — ``prepare_dataset``
+plus a replay of the entire update log (:func:`replay_reference`), which is
+exactly what the daemon's ``reload`` op must do to reach the same logical
+state.  For each grid cell this harness warms a bundle with ``HISTORY`` mixed
+updates, then times, per update kind:
+
+* ``update_seconds`` — one delta absorption into the warm bundle;
+* ``rebuild_seconds`` — the cold replay to the identical post-update state;
+* ``speedup`` — their ratio, and ``identical`` — whether the delta bundle's
+  canonical ``classify`` payload byte-equals the replay's (the speedup is
+  only meaningful while the bytes match).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py              # full grid
+    PYTHONPATH=src python benchmarks/bench_incremental.py --quick      # CI grid
+    PYTHONPATH=src python benchmarks/bench_incremental.py --quick \
+        --check BENCH_incremental.json --threshold 0.25                # CI gate
+
+JSON schema (``bench_incremental/v1``)::
+
+    {
+      "schema": "bench_incremental/v1",
+      "label": str, "quick": bool, "python": str, "platform": str,
+      "created": str, "dataset": "CRE", "history": int,
+      "runs": [ {"dataset", "scale", "scale_factor", "kind", "mode",
+                 "history_depth", "update_seconds", "rebuild_seconds",
+                 "speedup", "identical"} ],
+      "speedup": {"CRE/<scale>/<kind>": {"update_seconds", "rebuild_seconds",
+                  "speedup", "identical"}}
+    }
+
+``--check`` re-measures the quick grid and gates on each shared cell's
+``speedup`` — both sides of the ratio measured in the same fresh run on the
+same machine, so hardware speed cancels — against the committed file's value,
+failing on a regression beyond ``--threshold``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from typing import Any, Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.incremental import UpdateSpec, apply_update, replay_reference  # noqa: E402
+from repro.pipeline.workflow import analysis_payload, analyze_filter, prepare_dataset  # noqa: E402
+
+SCHEMA = "bench_incremental/v1"
+
+DATASET = "CRE"
+#: Same scale ladder as ``bench_serve.py``; ``large`` is the acceptance cell
+#: (the ISSUE's >=10x single-sample / single-annotation criterion).
+SCALES: dict[str, float] = {
+    "tiny": 0.02,
+    "small": 0.05,
+    "medium": 0.10,
+    "large": 0.15,
+}
+SCALE_ORDER = ["tiny", "small", "medium", "large"]
+
+#: Mixed updates absorbed before measuring — the warm bundle's mutation
+#: history, which a cold rebuild must replay in full.
+HISTORY = 8
+
+#: The measured update kinds, applied in this order (history keeps growing).
+KINDS: dict[str, dict[str, int]] = {
+    "single_annotation": dict(add_annotations=1),
+    "single_term": dict(add_terms=1),
+    "single_gene": dict(add_genes=1),
+    "mixed": dict(add_samples=1, add_genes=2, add_annotations=2, add_terms=1),
+    "single_sample": dict(add_samples=1),
+}
+KIND_ORDER = list(KINDS)
+
+#: Acceptance cells: these kinds are gated by --check (and the ISSUE floor).
+HEADLINE_KINDS = ("single_sample", "single_annotation")
+
+
+def canonical(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _classify_bytes(bundle) -> str:
+    return canonical(analysis_payload(analyze_filter(bundle)))
+
+
+def _history_spec(step: int) -> UpdateSpec:
+    """The warm-up history: deterministic mixed specs, one per step."""
+    cycle = [
+        dict(add_annotations=2),
+        dict(add_samples=1, add_genes=1),
+        dict(add_terms=1, add_annotations=1),
+        dict(add_genes=2),
+    ]
+    return UpdateSpec(seed=700 + step, **cycle[step % len(cycle)])
+
+
+def run_grid(quick: bool, verbose: bool = True) -> list[dict[str, Any]]:
+    scales = ["tiny", "small"] if quick else SCALE_ORDER
+    runs: list[dict[str, Any]] = []
+    for scale in scales:
+        factor = SCALES[scale]
+        bundle = prepare_dataset(DATASET, scale=factor)
+        history: list[UpdateSpec] = []
+        for step in range(HISTORY):
+            spec = _history_spec(step)
+            bundle, _ = apply_update(bundle, spec, history=history)
+            history.append(spec)
+        for kind in KIND_ORDER:
+            spec = UpdateSpec(seed=900 + len(history), **KINDS[kind])
+            t0 = time.perf_counter()
+            bundle, report = apply_update(bundle, spec, history=history)
+            update_seconds = time.perf_counter() - t0
+            history.append(spec)
+            t0 = time.perf_counter()
+            reference = replay_reference(DATASET, factor, None, history)
+            rebuild_seconds = time.perf_counter() - t0
+            row = {
+                "dataset": DATASET,
+                "scale": scale,
+                "scale_factor": factor,
+                "kind": kind,
+                "mode": report.mode,
+                "history_depth": len(history),
+                "update_seconds": round(update_seconds, 6),
+                "rebuild_seconds": round(rebuild_seconds, 6),
+                "speedup": (
+                    round(rebuild_seconds / update_seconds, 1) if update_seconds else None
+                ),
+                "identical": _classify_bytes(bundle) == _classify_bytes(reference),
+            }
+            runs.append(row)
+            if verbose:
+                print(
+                    f"{DATASET:>4} {scale:>6} {kind:>17}  update {update_seconds * 1000:8.2f}ms  "
+                    f"rebuild {rebuild_seconds:7.3f}s  {row['speedup']:>7}x  "
+                    f"mode={report.mode}  identical={row['identical']}",
+                    flush=True,
+                )
+    return runs
+
+
+def _speedup_table(runs: list[dict[str, Any]]) -> dict[str, dict[str, Any]]:
+    return {
+        f"{row['dataset']}/{row['scale']}/{row['kind']}": {
+            "update_seconds": row["update_seconds"],
+            "rebuild_seconds": row["rebuild_seconds"],
+            "speedup": row["speedup"],
+            "identical": row["identical"],
+        }
+        for row in runs
+    }
+
+
+def _headline_cells(table: dict[str, dict[str, Any]]) -> list[str]:
+    """The acceptance cells at the largest measured scale."""
+    for scale in reversed(SCALE_ORDER):
+        cells = [f"{DATASET}/{scale}/{kind}" for kind in HEADLINE_KINDS]
+        if all(cell in table for cell in cells):
+            return cells
+    return []
+
+
+def check_regression(
+    runs: list[dict[str, Any]], committed: dict[str, Any], threshold: float
+) -> int:
+    """Gate on the committed baseline, normalized for hardware speed.
+
+    The gated quantity is each headline cell's ``rebuild_seconds /
+    update_seconds`` speedup — numerator and denominator from the same fresh
+    run, so machine speed cancels — against the committed file's value for the
+    same cell.  A cell whose delta and replay bytes differ fails outright.
+    """
+    fresh = _speedup_table(runs)
+    for cell, entry in fresh.items():
+        if not entry["identical"]:
+            print(f"check: FAIL — {cell}: delta and replayed payloads differ", file=sys.stderr)
+            return 1
+    committed_table = committed.get("speedup", {})
+    shared = {c: fresh[c] for c in fresh if c in committed_table}
+    headline = _headline_cells(shared)
+    if not headline:
+        print("check: no shared headline cell between fresh and committed runs", file=sys.stderr)
+        return 2
+    status = 0
+    for cell in headline:
+        old = committed_table[cell]["speedup"]
+        new = shared[cell]["speedup"]
+        rel = new / old if old else float("inf")
+        print(
+            f"check: {cell}: committed {old}x, fresh {new}x, relative {rel:.2f}"
+        )
+        if rel < 1.0 - threshold:
+            print(
+                f"check: FAIL — {cell} delta speedup regressed "
+                f"{(1.0 - rel) * 100:.0f}% vs committed (> {threshold * 100:.0f}% allowed)",
+                file=sys.stderr,
+            )
+            status = 1
+    if status == 0:
+        print("check: OK")
+    return status
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small CI grid (tiny + small scales)")
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output JSON path (default BENCH_incremental.json, or "
+        "bench_incremental_fresh.json when --check is given so the committed "
+        "baseline is never clobbered)",
+    )
+    parser.add_argument("--label", default="delta-update", help="label for this variant")
+    parser.add_argument(
+        "--check",
+        metavar="FILE",
+        help="compare fresh headline speedups against a committed bench file",
+    )
+    parser.add_argument("--threshold", type=float, default=0.25, help="allowed regression for --check")
+    args = parser.parse_args(argv)
+
+    if args.out is None:
+        args.out = "bench_incremental_fresh.json" if args.check else "BENCH_incremental.json"
+    committed: Optional[dict[str, Any]] = None
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as fh:
+            committed = json.load(fh)
+
+    runs = run_grid(args.quick)
+    table = _speedup_table(runs)
+    for cell in _headline_cells(table):
+        entry = table[cell]
+        print(
+            f"headline {cell}: rebuild {entry['rebuild_seconds']:.3f}s → update "
+            f"{entry['update_seconds'] * 1000:.2f}ms ({entry['speedup']}x, "
+            f"identical={entry['identical']})"
+        )
+
+    payload: dict[str, Any] = {
+        "schema": SCHEMA,
+        "label": args.label,
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "dataset": DATASET,
+        "history": HISTORY,
+        "runs": runs,
+        "speedup": table,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out} ({len(runs)} runs)")
+    if committed is not None:
+        return check_regression(runs, committed, args.threshold)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

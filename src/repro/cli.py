@@ -171,7 +171,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_supervision_args(serve)
 
     request = sub.add_parser("request", help="send one request to a running daemon")
-    request.add_argument("op", help="operation: filter / classify / enrich / ping / stats / reload / shutdown")
+    request.add_argument("op", help="operation: filter / classify / enrich / ping / stats / reload / update / shutdown")
     request.add_argument("--host", default="127.0.0.1")
     request.add_argument("--port", type=int, default=None)
     request.add_argument("--port-file", default=None, help="read the daemon's port from this file")
@@ -196,6 +196,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="retry a transient request failure (busy / timeout / dropped "
         "connection) this many times; requests are idempotent, so a retry "
         "returns the byte-identical payload",
+    )
+    update_opts = request.add_argument_group(
+        "update op", "mutation sizes for the `update` op (merged into --params)"
+    )
+    update_opts.add_argument("--add-samples", type=int, default=None, metavar="N")
+    update_opts.add_argument("--add-genes", type=int, default=None, metavar="N")
+    update_opts.add_argument("--add-annotations", type=int, default=None, metavar="N")
+    update_opts.add_argument("--add-terms", type=int, default=None, metavar="N")
+    update_opts.add_argument(
+        "--update-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="seed of the synthesised mutation payload (params key: seed)",
     )
 
     spmd_worker = sub.add_parser(
@@ -491,6 +505,16 @@ def _cmd_request(args: argparse.Namespace) -> int:
     if not isinstance(params, dict):
         print("repro request: --params must be a JSON object", file=sys.stderr)
         return 2
+    # Convenience flags for the `update` op; explicit flags win over --params.
+    for flag, key in (
+        (args.add_samples, "add_samples"),
+        (args.add_genes, "add_genes"),
+        (args.add_annotations, "add_annotations"),
+        (args.add_terms, "add_terms"),
+        (args.update_seed, "seed"),
+    ):
+        if flag is not None:
+            params[key] = flag
     port = args.port
     try:
         if port is None and args.port_file:

@@ -37,6 +37,7 @@ __all__ = [
     "build_correlation_csr",
     "correlated_pairs",
     "correlated_pair_arrays",
+    "correlated_pair_arrays_delta",
     "network_from_pair_arrays",
     "csr_from_pair_arrays",
 ]
@@ -208,6 +209,77 @@ def correlated_pair_arrays(
         np.concatenate(out_j),
         np.concatenate(out_r),
     )
+
+
+def correlated_pair_arrays_delta(
+    matrix: ExpressionMatrix,
+    old_n_genes: int,
+    cached: tuple[np.ndarray, np.ndarray, np.ndarray],
+    threshold: Optional[CorrelationThreshold] = None,
+    block_size: int = 2048,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Tile-delta update of :func:`correlated_pair_arrays` after a gene append.
+
+    ``cached`` is the full pair extraction of the first ``old_n_genes`` rows
+    of ``matrix`` (same threshold, same ``block_size``); the rows beyond
+    ``old_n_genes`` are the appended genes.  Only the tiles whose row or
+    column block gained rows are recomputed — a tile is *stable* exactly when
+    both its blocks were already full at ``old_n_genes``, because a partial
+    block changes the gemm operand shape and BLAS does not promise the shared
+    entries come out bit-identical across shapes.  Stable tiles keep their
+    cached entries verbatim; recomputed tiles run at the exact shapes the
+    cold pass would use; the merge re-establishes cold *tile order* (tiles
+    row-major, entries row-major within a tile), so the result is
+    bit-identical to a cold :func:`correlated_pair_arrays` over the appended
+    matrix — arrays, order and ρ bits.
+
+    Requires the appended rows to standardise independently of the old rows
+    (true for gene appends: standardisation is per-row); a *sample* append
+    changes every standardised row and must recompute from cold.
+    """
+    threshold = threshold or CorrelationThreshold()
+    n = matrix.n_genes
+    if not 0 <= old_n_genes <= n:
+        raise ValueError(f"old_n_genes {old_n_genes} out of range for {n} genes")
+    std = matrix.standardized()
+    n_samples = std.n_samples
+    empty = np.empty(0, dtype=np.int64)
+    if n_samples < 2 or n < 2:
+        return empty, empty.copy(), np.empty(0, dtype=float)
+    old_ii, old_jj, old_rho = cached
+    # Stable tile ⇔ both blocks full in the old pass.
+    keep = ((old_ii // block_size + 1) * block_size <= old_n_genes) & (
+        (old_jj // block_size + 1) * block_size <= old_n_genes
+    )
+    out_i: list[np.ndarray] = [old_ii[keep]]
+    out_j: list[np.ndarray] = [old_jj[keep]]
+    out_r: list[np.ndarray] = [old_rho[keep]]
+    cutoff = threshold.effective_cutoff(n_samples)
+    values = std.values
+    for bi in range(0, n, block_size):
+        rows = values[bi : bi + block_size]
+        for bj in range(bi, n, block_size):
+            if bi + block_size <= old_n_genes and bj + block_size <= old_n_genes:
+                continue  # stable tile: cached entries reused verbatim
+            cols = values[bj : bj + block_size]
+            corr = rows @ cols.T / n_samples
+            if threshold.include_negative:
+                mask = np.abs(corr) >= cutoff
+            else:
+                mask = corr >= cutoff
+            if bi == bj:
+                mask = np.triu(mask, k=1)
+            ii, jj = np.nonzero(mask)
+            if ii.size == 0:
+                continue
+            out_i.append(ii + bi)
+            out_j.append(jj + bj)
+            out_r.append(np.clip(corr[ii, jj], -1.0, 1.0))
+    ii = np.concatenate(out_i)
+    jj = np.concatenate(out_j)
+    rho = np.concatenate(out_r)
+    order = np.lexsort((jj, ii, jj // block_size, ii // block_size))
+    return ii[order], jj[order], rho[order]
 
 
 def correlated_pairs(

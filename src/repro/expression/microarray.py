@@ -169,6 +169,86 @@ class ExpressionMatrix:
         self._standardized = result
         return result
 
+    # ------------------------------------------------------------------
+    # structural-sharing appends (the incremental-recompute substrate)
+    # ------------------------------------------------------------------
+    def with_samples(
+        self,
+        values: np.ndarray,
+        samples: Sequence[str],
+        conditions: Optional[Sequence[str]] = None,
+    ) -> "ExpressionMatrix":
+        """Return a new matrix with extra sample columns appended.
+
+        ``values`` must be ``(n_genes, k)``.  The standardised memo cannot be
+        carried over — appending a sample changes every gene's mean and
+        standard deviation — so the returned matrix standardises from cold on
+        first use (see :mod:`repro.incremental` for the delta-vs-rebuild
+        decision table).
+        """
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2 or values.shape[0] != self.n_genes:
+            raise ValueError(
+                f"sample append must be (n_genes, k), got {values.shape} for {self.n_genes} genes"
+            )
+        samples = list(samples)
+        if values.shape[1] != len(samples):
+            raise ValueError(f"{values.shape[1]} new columns but {len(samples)} sample labels")
+        if conditions is None and self.conditions is not None:
+            conditions = [self.conditions[-1]] * len(samples)
+        merged_conditions = (
+            list(self.conditions) + list(conditions) if self.conditions else None
+        )
+        return ExpressionMatrix(
+            values=np.concatenate([self.values, values], axis=1),
+            genes=list(self.genes),
+            samples=list(self.samples) + samples,
+            conditions=merged_conditions,
+            metadata=dict(self.metadata),
+        )
+
+    def with_genes(self, values: np.ndarray, genes: Sequence[str]) -> "ExpressionMatrix":
+        """Return a new matrix with extra gene rows appended.
+
+        ``values`` must be ``(k, n_samples)``.  Standardisation is per-row, so
+        when this matrix already carries a standardised memo the appended
+        matrix's memo is **delta-extended**: only the new rows are
+        standardised and stacked under the cached rows — bit-identical to a
+        cold :meth:`standardized` pass over the whole appended matrix.
+        """
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2 or values.shape[1] != self.n_samples:
+            raise ValueError(
+                f"gene append must be (k, n_samples), got {values.shape} for {self.n_samples} samples"
+            )
+        genes = list(genes)
+        if values.shape[0] != len(genes):
+            raise ValueError(f"{values.shape[0]} new rows but {len(genes)} gene labels")
+        result = ExpressionMatrix(
+            values=np.concatenate([self.values, values], axis=0),
+            genes=list(self.genes) + genes,
+            samples=list(self.samples),
+            conditions=list(self.conditions) if self.conditions else None,
+            metadata=dict(self.metadata),
+        )
+        cached = self._standardized
+        if cached is not None:
+            centered = values - values.mean(axis=1, keepdims=True)
+            std = values.std(axis=1, keepdims=True)
+            safe = np.where(std > 0, std, 1.0)
+            scaled = np.where(std > 0, centered / safe, 0.0)
+            memo = ExpressionMatrix(
+                values=np.concatenate([cached.values, scaled], axis=0),
+                genes=list(result.genes),
+                samples=list(result.samples),
+                conditions=list(result.conditions) if result.conditions else None,
+                metadata=dict(result.metadata),
+            )
+            result.values.setflags(write=False)
+            memo.values.setflags(write=False)
+            result._standardized = memo
+        return result
+
     def gene_variances(self) -> np.ndarray:
         """Return the per-gene expression variance."""
         return self.values.var(axis=1)

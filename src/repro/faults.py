@@ -32,6 +32,8 @@ Sites (see ``docs/ARCHITECTURE.md`` for the full table):
 ``serve.execute``    each cache-miss execution on an admission worker
 ``serve.worker``     each ticket pickup by an admission worker thread
 ``serve.rebuild``    each dataset bundle (re)build on the daemon
+``serve.update``     each warm dataset update absorbed on the daemon
+``incremental.delta`` each delta-update application (:mod:`repro.incremental`)
 ``batch.cache_read`` each batch disk-cache entry read
 ``batch.cache_write`` each batch disk-cache entry write (before the tmp file)
 ``batch.cache_replace`` the publish step (between tmp write and rename)

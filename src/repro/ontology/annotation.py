@@ -57,6 +57,51 @@ class AnnotationIndex:
     def n_genes(self) -> int:
         return len(self.genes)
 
+    @classmethod
+    def updated(
+        cls,
+        old: "AnnotationIndex",
+        table: "AnnotationTable",
+        term_index: TermIndex,
+        old_to_new: Optional[np.ndarray] = None,
+        touched: Iterable[str] = (),
+    ) -> "AnnotationIndex":
+        """Delta-rebuild an index after annotations/terms were appended.
+
+        ``old`` must be a prior index of ``table``; ``touched`` names the
+        genes whose annotation sets changed since (new genes included).
+        Untouched rows are reused from the old CSR — remapped through the
+        strictly-increasing ``old_to_new`` gather when the term space was
+        extended (monotone, so sorted rows stay sorted) — and only touched
+        rows are re-interned and re-sorted.  Bit-identical to a cold
+        ``AnnotationIndex(table, term_index)``.
+        """
+        index = object.__new__(cls)
+        index.term_index = term_index
+        index.genes = tuple(table._gene_terms)
+        index._row_of = {g: i for i, g in enumerate(index.genes)}
+        touched = set(touched)
+        id_of = term_index.id_of
+        remapped = old.term_ids if old_to_new is None else old_to_new[old.term_ids]
+        rows = []
+        for g in index.genes:
+            r = old._row_of.get(g, -1)
+            if r < 0 or g in touched:
+                rows.append(
+                    np.sort(
+                        np.fromiter((id_of[t] for t in table._gene_terms[g]), dtype=np.int64)
+                    )
+                )
+            else:
+                rows.append(remapped[old.indptr[r] : old.indptr[r + 1]])
+        counts = np.array([r.shape[0] for r in rows], dtype=np.int64)
+        index.indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+        np.cumsum(counts, out=index.indptr[1:])
+        index.term_ids = np.concatenate(rows) if rows else np.empty(0, dtype=np.int64)
+        index.indptr.setflags(write=False)
+        index.term_ids.setflags(write=False)
+        return index
+
     def row_of(self, gene: Hashable) -> int:
         """Gene row of one label (``str()``-normalised), ``-1`` when unannotated."""
         return self._row_of.get(str(gene), -1)

@@ -619,6 +619,58 @@ class EnrichmentScorer:
             self._static_refs = export_payload(arrays, self._arena)
         return self._static_refs
 
+    # ------------------------------------------------------------------
+    # incremental adoption (see repro.incremental)
+    # ------------------------------------------------------------------
+    def adopt_term_index(self, delta) -> None:
+        """Migrate the warm memos across a leaf-append :class:`TermDelta`.
+
+        Leaf appends never change the depths or ancestor sets of existing
+        terms, so memoised DCPs stay correct; distances between existing
+        terms are unchanged exactly when ``delta.distances_safe``.  When the
+        pair table is pinned to ``delta.old_index`` and the batch is safe,
+        its packed keys are remapped through the strictly-increasing
+        ``old_to_new`` gather (unpack with the old ``n_terms``, gather,
+        repack with the new — monotone per component, so the key array stays
+        sorted) instead of being dropped; unsafe batches reset the table
+        *and* the per-edge cache, whose breadth components may be stale.
+        """
+        if (
+            self._pairs_index is delta.old_index
+            and delta.distances_safe
+            and self._pairs.keys.size
+        ):
+            k_old = np.int64(delta.old_index.n_terms)
+            k_new = np.int64(delta.new_index.n_terms)
+            a = delta.old_to_new[self._pairs.keys // k_old]
+            b = delta.old_to_new[self._pairs.keys % k_old]
+            self._pairs.keys = a * k_new + b
+            self._pairs.dcp = delta.old_to_new[self._pairs.dcp]
+        else:
+            self._pairs = _PairTable()
+            if not delta.distances_safe:
+                self._cache.clear()
+        self._pairs_index = delta.new_index
+        self._static_refs = None
+
+    def invalidate_genes(self, genes: Iterable[Hashable]) -> None:
+        """Drop per-edge memos touching ``genes`` (their annotation sets changed).
+
+        The pair table survives — it memoises *term* pairs, which are
+        annotation-independent; only the per-edge winners over the changed
+        genes' candidate sets can move.
+        """
+        changed = {str(g) for g in genes}
+        if not changed:
+            return
+        stale = [
+            key
+            for key in self._cache
+            if str(key[0]) in changed or str(key[1]) in changed
+        ]
+        for key in stale:
+            del self._cache[key]
+
     def close(self) -> None:
         """Release the scorer's shared-memory segments (idempotent).
 

@@ -12,7 +12,8 @@ builds one shaped like the GO biological-process tree.
 from __future__ import annotations
 
 from collections import deque
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
 from typing import Any, Optional
 
 import numpy as np
@@ -24,6 +25,8 @@ __all__ = [
     "GOTerm",
     "GODag",
     "TermIndex",
+    "TermDelta",
+    "extended_term_index",
     "dcp_batch_arrays",
     "distance_batch_arrays",
 ]
@@ -140,6 +143,96 @@ class TermIndex:
             row_limit=self._DIST_ROW_LIMIT,
             kernels=kernels,
         )
+
+
+@dataclass(frozen=True)
+class TermDelta:
+    """The outcome of one leaf-append batch (:meth:`GODag.append_leaf_terms`).
+
+    ``old_to_new`` maps every *old* interned id to its id in ``new_index``
+    (interning is in sorted term-string order, so appended terms renumber the
+    id space; the map is strictly increasing, which is what lets sorted rows
+    and packed pair keys remap by one gather without re-sorting).
+    ``distances_safe`` reports whether distances between pre-existing terms
+    are provably unchanged — when ``False`` the per-source distance rows were
+    dropped and downstream breadth memos (the enrichment pair table) must
+    reset too.
+    """
+
+    old_index: TermIndex
+    new_index: TermIndex
+    old_to_new: np.ndarray
+    new_ids: np.ndarray  #: interned ids of the appended terms, insertion order
+    distances_safe: bool
+
+
+def extended_term_index(
+    old: TermIndex, dag: "GODag", new_terms: Sequence[str]
+) -> tuple[TermIndex, np.ndarray]:
+    """Delta-build the :class:`TermIndex` of ``dag`` after appending leaves.
+
+    ``old`` must be the index of ``dag`` *before* the terms in ``new_terms``
+    (insertion order) were added, and every appended term must be a leaf
+    (no children yet) — exactly what :meth:`GODag.append_leaf_terms`
+    guarantees.  The interned id space is extended in sorted-string order:
+    old ancestor rows survive as one monotone gather (``old_to_new`` is
+    strictly increasing, so sorted rows stay sorted), only the appended
+    terms' ancestor rows are unioned fresh, and the undirected term CSR is
+    rebuilt from the remapped old edge list plus the new parent links.  The
+    result is bit-identical to a cold ``TermIndex(dag)``; the per-source
+    distance-row cache starts empty (the caller migrates it when safe).
+
+    Returns ``(new_index, old_to_new)``.
+    """
+    terms = tuple(sorted(dag._terms))
+    id_of = {t: i for i, t in enumerate(terms)}
+    n = len(terms)
+    old_n = len(old.terms)
+    old_to_new = np.fromiter((id_of[t] for t in old.terms), dtype=np.int64, count=old_n)
+    depths = np.empty(n, dtype=np.int64)
+    depths[old_to_new] = old.depths
+    for t in new_terms:
+        depths[id_of[t]] = dag._depth_cache[t]
+    depths.setflags(write=False)
+    # Ancestor CSR: remap every old row with one gather (monotone map keeps
+    # rows sorted); new leaf rows union their parents' finished rows.
+    remapped = old_to_new[old.anc_indices]
+    rows: list[Optional[np.ndarray]] = [None] * n
+    for i_old in range(old_n):
+        rows[old_to_new[i_old]] = remapped[old.anc_indptr[i_old] : old.anc_indptr[i_old + 1]]
+    for t in new_terms:
+        tid = id_of[t]
+        parent_rows = [rows[id_of[p]] for p in dag._terms[t].parents]
+        rows[tid] = np.unique(
+            np.concatenate(parent_rows + [np.array([tid], dtype=np.int64)])
+        )
+    counts = np.array([r.shape[0] for r in rows], dtype=np.int64)
+    anc_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=anc_indptr[1:])
+    anc_indices = np.concatenate(rows)
+    anc_indptr.setflags(write=False)
+    anc_indices.setflags(write=False)
+    # Undirected structure: old edges (upper-triangle extraction of the old
+    # CSR — each edge once) remapped, plus one edge per new parent link.
+    old_csr = old.term_csr
+    row_of = np.repeat(np.arange(old_n, dtype=np.int64), np.diff(old_csr.indptr))
+    tri = old_csr.indices > row_of
+    us = [old_to_new[row_of[tri]]]
+    vs = [old_to_new[old_csr.indices[tri]]]
+    for t in new_terms:
+        parents = dag._terms[t].parents
+        us.append(np.full(len(parents), id_of[t], dtype=np.int64))
+        vs.append(np.fromiter((id_of[p] for p in parents), dtype=np.int64, count=len(parents)))
+    term_csr = CSRGraph.from_edge_arrays(range(n), np.concatenate(us), np.concatenate(vs))
+    index = object.__new__(TermIndex)
+    index.terms = terms
+    index.id_of = id_of
+    index.depths = depths
+    index.anc_indptr = anc_indptr
+    index.anc_indices = anc_indices
+    index.term_csr = term_csr
+    index._dist_rows = {}
+    return index, old_to_new
 
 
 def dcp_batch_arrays(
@@ -411,8 +504,9 @@ class GODag:
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
-    def add_term(self, term_id: str, parents: Iterable[str], name: str = "") -> GOTerm:
-        """Add a term with the given parent term ids (all must already exist)."""
+    def _insert_term(self, term_id: str, parents: Iterable[str], name: str = "") -> GOTerm:
+        """Validate and link one new term (shared by the cold and delta paths);
+        performs **no** cache invalidation — callers own that."""
         if term_id in self._terms:
             raise ValueError(f"term {term_id!r} already exists")
         parent_list = list(dict.fromkeys(parents))
@@ -428,12 +522,147 @@ class GODag:
             self._terms[p].children.append(term_id)
         self._depth_cache[term_id] = 1 + max(self._depth_cache[p] for p in parent_list)
         self._ancestor_cache.pop(term_id, None)
+        return term
+
+    def add_term(self, term_id: str, parents: Iterable[str], name: str = "") -> GOTerm:
+        """Add a term with the given parent term ids (all must already exist)."""
+        term = self._insert_term(term_id, parents, name)
         # A new leaf invalidates the distance engine twice over: the cached
         # CSR view and distance arrays are missing the term, and a leaf with
         # several parents creates parent–leaf–parent shortcuts that can
-        # shorten existing undirected distances.
+        # shorten existing undirected distances.  append_leaf_terms is the
+        # scoped-invalidation alternative for warm holders of the term index.
         self._invalidate_distances()
         return term
+
+    def append_leaf_terms(
+        self, specs: Sequence[tuple[str, Sequence[str]]]
+    ) -> TermDelta:
+        """Append a batch of leaf terms, delta-extending the term index.
+
+        ``specs`` is ``[(term_id, parents), ...]`` in insertion order; parents
+        may name earlier entries of the same batch.  Unlike :meth:`add_term`,
+        which drops the whole distance engine, this path invalidates by
+        *scope*:
+
+        * depths and ancestor sets of existing terms never change under a
+          leaf append, so the ancestor cache and depth cache are untouched;
+        * the cached :class:`TermIndex` is extended via
+          :func:`extended_term_index` (one monotone remap plus the new rows)
+          instead of rebuilt from scratch;
+        * per-source distance rows (the SSSP cache and the index's BFS rows)
+          are *extended* — every path to a new leaf enters through a parent,
+          so ``dist(src, leaf) = min_p dist(src, p) + 1`` — whenever the
+          batch provably cannot shorten any existing distance: a
+          single-parent leaf never can, and a multi-parent leaf cannot when
+          its parents (all pre-existing) sit pairwise at distance ≤ 2.
+          Batches that fail the test drop the distance rows (and report
+          ``distances_safe=False`` so breadth memos downstream reset too).
+
+        Returns the :class:`TermDelta` describing the id remap.
+        """
+        if not specs:
+            raise ValueError("append_leaf_terms needs at least one term")
+        old_index = self.term_index()
+        # --- safety analysis against the *old* structure, before mutation ---
+        batch_ids = {term_id for term_id, _parents in specs}
+        safe = True
+        check_a: list[int] = []
+        check_b: list[int] = []
+        for term_id, parents in specs:
+            parent_list = list(dict.fromkeys(parents))
+            if len(parent_list) <= 1:
+                continue  # a pendant leaf can never create a shortcut
+            if any(p in batch_ids for p in parent_list):
+                safe = False  # multi-parent onto in-batch terms: don't prove, drop
+                continue
+            ids = [old_index.id_of[p] for p in parent_list if p in old_index.id_of]
+            if len(ids) != len(parent_list):
+                safe = False
+                continue
+            for x in range(len(ids)):
+                for y in range(x + 1, len(ids)):
+                    check_a.append(ids[x])
+                    check_b.append(ids[y])
+        if safe and check_a:
+            dists = old_index.distance_batch(
+                np.asarray(check_a, dtype=np.int64), np.asarray(check_b, dtype=np.int64)
+            )
+            safe = bool((dists <= 2).all())
+        # --- mutate ---------------------------------------------------------
+        inserted: list[str] = []
+        try:
+            for term_id, parents in specs:
+                self._insert_term(term_id, parents)
+                inserted.append(term_id)
+        except Exception:
+            # Leave no half-applied batch behind: unlink what went in and
+            # fall back to the cold invalidation contract.
+            for term_id in reversed(inserted):
+                term = self._terms.pop(term_id)
+                for p in term.parents:
+                    self._terms[p].children.remove(term_id)
+                self._depth_cache.pop(term_id, None)
+            self._invalidate_distances()
+            raise
+        new_terms = [term_id for term_id, _parents in specs]
+        new_index, old_to_new = extended_term_index(old_index, self, new_terms)
+        # --- scoped invalidation -------------------------------------------
+        # The scalar distance engine's CSR view is rebuilt lazily (cheap); its
+        # per-source rows are positional in *insertion* order, which appends
+        # preserve, so safe batches extend the rows instead of dropping them.
+        self._dist_index = None
+        self._dist_csr = None
+        if safe:
+            if self._sssp_cache:
+                # term_distance serves cached rows through _dist_index without
+                # touching _ensure_distance_csr, so keeping rows means the
+                # scalar view must be rebuilt now (cheap: one edge sweep).
+                self._ensure_distance_csr()
+            positions = {t: i for i, t in enumerate(self._terms)}
+            parent_positions = [
+                np.fromiter(
+                    (positions[p] for p in self._terms[t].parents),
+                    dtype=np.int64,
+                    count=len(self._terms[t].parents),
+                )
+                for t in new_terms
+            ]
+            for src, row in list(self._sssp_cache.items()):
+                grown = np.concatenate([row, np.empty(len(new_terms), dtype=np.int64)])
+                for k, ppos in enumerate(parent_positions):
+                    grown[row.shape[0] + k] = grown[ppos].min() + 1
+                self._sssp_cache[src] = grown
+            # The index's BFS rows are keyed and indexed by interned ids:
+            # remap each row through old_to_new, then fill the new leaves.
+            n = new_index.n_terms
+            parent_ids = [
+                np.fromiter(
+                    (new_index.id_of[p] for p in self._terms[t].parents),
+                    dtype=np.int64,
+                    count=len(self._terms[t].parents),
+                )
+                for t in new_terms
+            ]
+            leaf_ids = [new_index.id_of[t] for t in new_terms]
+            for src, row in old_index._dist_rows.items():
+                grown = np.empty(n, dtype=np.int64)
+                grown[old_to_new] = row
+                for lid, pids in zip(leaf_ids, parent_ids):
+                    grown[lid] = grown[pids].min() + 1
+                new_index._dist_rows[int(old_to_new[src])] = grown
+        else:
+            self._sssp_cache.clear()
+        self._term_index = new_index
+        return TermDelta(
+            old_index=old_index,
+            new_index=new_index,
+            old_to_new=old_to_new,
+            new_ids=np.fromiter(
+                (new_index.id_of[t] for t in new_terms), dtype=np.int64, count=len(new_terms)
+            ),
+            distances_safe=safe,
+        )
 
     def add_parent(self, term_id: str, parent_id: str) -> None:
         """Add an extra parent link (GO terms often have several parents).
@@ -450,8 +679,13 @@ class GODag:
             raise ValueError(f"adding parent {parent_id!r} to {term_id!r} would create a cycle")
         term.parents.append(parent_id)
         parent.children.append(term_id)
+        # Only the child term and its descendants can see new ancestors from
+        # this link, so invalidation is scoped to that subtree instead of
+        # clearing the whole cache — every other term's ancestor set is
+        # reachable without the new edge and stays valid.
+        for t in self.subtree(term_id):
+            self._ancestor_cache.pop(t, None)
         # Longest-path depths of the term and its descendants may grow.
-        self._ancestor_cache.clear()
         self._invalidate_distances()
         self._recompute_depths_from(term_id)
 

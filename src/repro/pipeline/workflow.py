@@ -73,6 +73,14 @@ class DatasetBundle:
     #: (one correlation pass serves both views); ``None`` only for bundles
     #: constructed by hand without it.
     network_csr: Optional[CSRGraph] = None
+    #: Number of incremental updates absorbed since the cold build (see
+    #: :mod:`repro.incremental`); 0 for a fresh :func:`prepare_dataset`.
+    generation: int = 0
+    #: Component dirty-set of the *last* absorbed update — which of
+    #: ``{"expression", "network", "ontology", "annotations"}`` it touched.
+    #: Untouched components were reused structurally (same objects), which is
+    #: what lets the serve layer scope its cache invalidation.
+    dirty: frozenset = frozenset()
 
     @property
     def n_vertices(self) -> int:
@@ -89,6 +97,7 @@ class DatasetBundle:
             "n_vertices": self.n_vertices,
             "n_edges": self.n_edges,
             "original_clusters": len(self.original_clusters),
+            "generation": self.generation,
         }
 
 

@@ -38,7 +38,13 @@ from ..pipeline.workflow import (
 )
 from .state import DatasetState
 
-__all__ = ["CACHEABLE_OPS", "HANDLERS", "normalize_params", "normalize_dataset_params"]
+__all__ = [
+    "CACHEABLE_OPS",
+    "HANDLERS",
+    "normalize_params",
+    "normalize_dataset_params",
+    "normalize_update_params",
+]
 
 #: Ops whose responses are pure functions of their normalised params and the
 #: dataset generation — exactly these go through the LRU result cache.
@@ -162,6 +168,35 @@ def normalize_dataset_params(
     """Just the ``dataset``/``scale`` pair, validated (the ``reload`` op)."""
     _reject_unknown("reload", params, _COMMON_KEYS)
     return _norm_common(params, default_scale)
+
+
+_UPDATE_COUNT_KEYS = ("add_samples", "add_genes", "add_annotations", "add_terms")
+
+
+def normalize_update_params(
+    params: dict[str, Any], default_scale: float
+) -> dict[str, Any]:
+    """Parameters of the ``update`` op: dataset/scale plus the mutation sizes.
+
+    At least one ``add_*`` count must be positive — a no-op update is a
+    request error, not a silent success.
+    """
+    _reject_unknown("update", params, _COMMON_KEYS | set(_UPDATE_COUNT_KEYS) | {"seed"})
+    normalized = _norm_common(params, default_scale)
+    total = 0
+    for key in _UPDATE_COUNT_KEYS:
+        value = params.get(key, 0)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise _bad(f"{key} must be an integer >= 0, got {value!r}")
+        normalized[key] = value
+        total += value
+    if total == 0:
+        raise _bad(f"update must request at least one of {list(_UPDATE_COUNT_KEYS)}")
+    seed = params.get("seed", 0)
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        raise _bad(f"seed must be an integer, got {seed!r}")
+    normalized["seed"] = seed
+    return normalized
 
 
 # ----------------------------------------------------------------------

@@ -42,7 +42,14 @@ from ..parallel.shm import SharedArena, arena_scope
 from ..pipeline.experiments import default_scale as _default_scale
 from .admission import AdmissionQueue, BusyError, ShuttingDownError
 from .cache import ResultCache
-from .handlers import CACHEABLE_OPS, HANDLERS, normalize_dataset_params, normalize_params
+from ..incremental import UpdateSpec
+from .handlers import (
+    CACHEABLE_OPS,
+    HANDLERS,
+    normalize_dataset_params,
+    normalize_params,
+    normalize_update_params,
+)
 from .protocol import (
     ERROR_BAD_REQUEST,
     ERROR_BUSY,
@@ -369,6 +376,8 @@ class ReproServer:
             )
         if op == "reload":
             return self._dispatch_reload(request)
+        if op == "update":
+            return self._dispatch_update(request)
         if op == "shutdown":
             # Respond first; the actual stop runs off-thread because it must
             # not wait on this very connection.
@@ -397,6 +406,44 @@ class ReproServer:
                 "scale": state.scale,
                 "generation": generation,
                 "invalidated": invalidated,
+            },
+        )
+
+    def _dispatch_update(self, request: Request) -> dict[str, Any]:
+        """Absorb a dataset mutation into the warm state (delta, no cold rebuild).
+
+        Like ``reload`` this runs on the connection thread under the drain
+        lock, but unlike ``reload`` it does *not* flush the result cache:
+        cached entries are tagged with component generation tokens
+        (:meth:`DatasetState.cache_token`), so only responses whose inputs
+        the update actually dirtied stop hitting.
+        """
+        try:
+            normalized = normalize_update_params(dict(request.params), self.default_scale)
+        except ValueError as err:
+            return error_response(request.id, ERROR_BAD_REQUEST, str(err))
+        state = self.state.get(normalized["dataset"], normalized["scale"])
+        spec = UpdateSpec(
+            add_samples=normalized["add_samples"],
+            add_genes=normalized["add_genes"],
+            add_annotations=normalized["add_annotations"],
+            add_terms=normalized["add_terms"],
+            seed=normalized["seed"],
+        )
+        report = self.state.update(state, spec, on_drain=self._on_reload_drain)
+        return ok_response(
+            request.id,
+            {
+                "dataset": state.name,
+                "scale": state.scale,
+                "mode": report.mode,
+                "dirty": sorted(report.dirty),
+                "reused": sorted(report.reused),
+                "counts": report.counts,
+                "updates": len(state.update_log),
+                "generation": state.generation,
+                "network_generation": state.network_generation,
+                "ontology_generation": state.ontology_generation,
             },
         )
 
@@ -456,7 +503,9 @@ class ReproServer:
         state = self.state.get(normalized["dataset"], normalized["scale"])
         state.acquire()
         try:
-            generation = state.generation
+            # Component-scoped token: an update that only touched the
+            # ontology leaves filter entries valid (and vice versa).
+            generation = state.cache_token(op)
             cacheable = op in CACHEABLE_OPS
             if cacheable:
                 hit = self.cache.get(request_hash, generation)

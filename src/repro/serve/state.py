@@ -25,7 +25,16 @@ import threading
 import time
 from typing import Any, Callable, Optional
 
+from collections.abc import Sequence
+
 from ..faults import fault_point
+from ..incremental import (
+    UpdateReport,
+    UpdateSpec,
+    apply_update,
+    reference_apply_update,
+    synthesize_update,
+)
 from ..pipeline.workflow import DatasetBundle, prepare_dataset
 from .coalesce import EnrichmentBatcher
 
@@ -79,6 +88,16 @@ class DatasetState:
         self.scale = round(float(scale), 6)
         self.bundle = bundle
         self.generation = 0
+        #: Component generations for scoped cache invalidation: an absorbed
+        #: update bumps only the tags of the components it dirtied, so cached
+        #: responses that cannot have changed keep hitting (e.g. ``filter``
+        #: entries survive an annotation-only update).
+        self.network_generation = 0
+        self.ontology_generation = 0
+        #: Spec log of every update absorbed since the cold build (oldest
+        #: first) — the replay recipe a full rebuild needs to reach the same
+        #: logical dataset (see :mod:`repro.incremental`).
+        self.update_log: list[UpdateSpec] = []
         self.created = time.time()
         #: ``"healthy"`` | ``"degraded"`` — a failed reload degrades the
         #: state (the previous bundle keeps serving) instead of killing it.
@@ -150,11 +169,26 @@ class DatasetState:
         self.health = "healthy"
         self.degraded_reason = None
 
+    def cache_token(self, op: str) -> tuple:
+        """The generation tag a cached ``op`` response is valid under.
+
+        ``filter`` responses depend only on the network view, so they stay
+        valid across ontology/annotation updates; ``classify``/``enrich``
+        responses additionally read the ontology state.  Reloads bump the
+        base generation, invalidating everything.
+        """
+        if op == "filter":
+            return (self.generation, self.network_generation)
+        return (self.generation, self.network_generation, self.ontology_generation)
+
     def summary(self) -> dict[str, Any]:
         out = {
             "dataset": self.name,
             "scale": self.scale,
             "generation": self.generation,
+            "network_generation": self.network_generation,
+            "ontology_generation": self.ontology_generation,
+            "updates": len(self.update_log),
             "n_vertices": self.bundle.n_vertices,
             "n_edges": self.bundle.n_edges,
             "original_clusters": len(self.bundle.original_clusters),
@@ -186,11 +220,19 @@ class ServerState:
         self._lock = threading.Lock()
         self._build_lock = threading.Lock()
 
-    def _build_bundle(self, name: str, scale: float) -> DatasetBundle:
+    def _build_bundle(
+        self, name: str, scale: float, update_log: Sequence[UpdateSpec] = ()
+    ) -> DatasetBundle:
         fault_point("serve.rebuild", dataset=name, scale=scale)
         bundle = prepare_dataset(
             name, scale=scale, seed=self.seed, enrichment_backend=self.enrichment_backend
         )
+        # A rebuild of a mutated dataset must reach the same logical state the
+        # warm bundle is in: replay the absorbed update log through the cold
+        # reference path (synthesize_update is deterministic given the
+        # pre-update state, so the replayed data matches bit for bit).
+        for spec in update_log:
+            bundle = reference_apply_update(bundle, synthesize_update(bundle, spec))
         # Requests execute on concurrent worker threads; the scorer's memo
         # tables must not race (see _LockedScorer).
         bundle.scorer = _LockedScorer(bundle.scorer)
@@ -235,7 +277,9 @@ class ServerState:
         state.begin_reload(on_drain)
         try:
             try:
-                bundle = self._build_bundle(state.name, state.scale)
+                bundle = self._build_bundle(
+                    state.name, state.scale, update_log=tuple(state.update_log)
+                )
             except Exception as exc:
                 state.mark_degraded(f"reload failed: {type(exc).__name__}: {exc}")
                 raise
@@ -247,6 +291,78 @@ class ServerState:
             state.generation += 1
             state.mark_healthy()
             return state.generation
+        finally:
+            state.end_reload()
+
+    def update(
+        self,
+        state: DatasetState,
+        spec: UpdateSpec,
+        on_drain: Optional[Callable[[str], None]] = None,
+    ) -> UpdateReport:
+        """Absorb one dataset mutation into a warm state without a cold rebuild.
+
+        The delta path runs under the same drain discipline as ``reload`` (no
+        request observes a half-updated bundle) but keeps the scorer, batcher
+        and every untouched component alive.  Only the generation tags of the
+        components the update dirtied are bumped, so cached responses that
+        cannot have changed keep hitting.
+
+        If the delta path fails (including an injected ``serve.update`` or
+        ``incremental.delta`` fault), the update degrades to a full reference
+        rebuild that replays the whole update log plus this spec — same
+        logical state, cold machinery.  Only when that replay *also* fails is
+        the state marked degraded (the previous bundle keeps serving).
+        """
+        state.begin_reload(on_drain)
+        try:
+            try:
+                fault_point("serve.update", dataset=state.name, scale=state.scale)
+                # fallback=False: the serve layer owns the fallback so it can
+                # also swap in a fresh scorer/batcher pair.
+                bundle, report = apply_update(
+                    state.bundle, spec, history=state.update_log, fallback=False
+                )
+            except Exception:
+                try:
+                    bundle = self._build_bundle(
+                        state.name,
+                        state.scale,
+                        update_log=tuple(state.update_log) + (spec,),
+                    )
+                except Exception as exc:
+                    state.mark_degraded(f"update failed: {type(exc).__name__}: {exc}")
+                    raise
+                # Full rebuild: new scorer, so the batcher must be restarted
+                # and every component generation conservatively bumped.
+                state.batcher.stop()
+                state.bundle = bundle
+                state.batcher = EnrichmentBatcher(
+                    bundle.scorer, gate=state._batch_gate, on_submit=state._batch_submit
+                )
+                state.update_log.append(spec)
+                state.network_generation += 1
+                state.ontology_generation += 1
+                state.mark_healthy()
+                return UpdateReport(
+                    mode="rebuild",
+                    dirty=frozenset(
+                        {"expression", "network", "ontology", "annotations"}
+                    ),
+                    reused=(),
+                    counts=spec.counts(),
+                )
+            # Delta path: the returned bundle shares the (locked) scorer and
+            # the untouched views with the old one — the batcher keeps its
+            # scorer reference, so no restart.
+            state.bundle = bundle
+            state.update_log.append(spec)
+            if report.dirty & {"expression", "network"}:
+                state.network_generation += 1
+            if report.dirty & {"ontology", "annotations"}:
+                state.ontology_generation += 1
+            state.mark_healthy()
+            return report
         finally:
             state.end_reload()
 

@@ -70,3 +70,33 @@ def test_baseline_provenance_types(path: Path):
     assert isinstance(data["quick"], bool), f"{path.name}: quick must be a bool"
     for key in ("created", "label", "platform", "python"):
         assert isinstance(data[key], str) and data[key], f"{path.name}: {key} must be a non-empty string"
+
+
+# ----------------------------------------------------------------------
+# incremental baseline: the acceptance floor is committed, not just measured
+# ----------------------------------------------------------------------
+INCREMENTAL_BASELINE = REPO_ROOT / "BENCH_incremental.json"
+
+
+def test_incremental_baseline_pins_acceptance_floor():
+    """The committed delta-update baseline must hold the >=10x floor.
+
+    Every row must be a delta (a committed baseline measured through the
+    rebuild fallback would be meaningless) with byte-identical payloads, and
+    the headline kinds at the largest measured scale must clear 10x.
+    """
+    data = _load(INCREMENTAL_BASELINE)
+    assert data["schema"] == "bench_incremental/v1"
+    rows = data["runs"]
+    for row in rows:
+        assert row["mode"] == "delta", f"{row['scale']}/{row['kind']}: fallback rebuild measured"
+        assert row["identical"] is True, f"{row['scale']}/{row['kind']}: payloads diverged"
+        assert row["speedup"] and row["speedup"] > 1.0
+    largest = rows[-1]["scale"]
+    headline = {
+        row["kind"]: row["speedup"] for row in rows if row["scale"] == largest
+    }
+    for kind in ("single_sample", "single_annotation"):
+        assert headline[kind] >= 10.0, (
+            f"{largest}/{kind}: committed speedup {headline[kind]}x below the 10x floor"
+        )

@@ -354,3 +354,56 @@ class TestShmLeakAccounting:
         shutdown_worker_pool()
         assert shm.open_segment_count() == baseline_segments
         assert shm.attached_handle_count() == baseline_handles
+
+
+class TestIncrementalFaults:
+    """Failed delta updates degrade to the reference rebuild, byte-identically."""
+
+    def test_delta_fault_falls_back_to_reference_rebuild(self):
+        from repro.incremental import UpdateSpec, apply_update
+        from repro.pipeline.workflow import analysis_payload, analyze_filter, prepare_dataset
+
+        spec = UpdateSpec(add_samples=1, add_annotations=2, seed=CHAOS_SEED)
+        clean = prepare_dataset("YNG", scale=SCALE)
+        clean, clean_report = apply_update(clean, spec)
+        assert clean_report.mode == "delta"
+
+        bundle = prepare_dataset("YNG", scale=SCALE)
+        with active_plan(FaultPlan(seed=CHAOS_SEED).fail("incremental.delta")) as plan:
+            bundle, report = apply_update(bundle, spec)
+        assert plan.fired("incremental.delta")
+        assert report.mode == "rebuild"
+        assert _canon(analysis_payload(analyze_filter(bundle))) == _canon(
+            analysis_payload(analyze_filter(clean))
+        )
+
+    def test_delta_fault_propagates_without_fallback(self):
+        from repro.incremental import UpdateSpec, apply_update
+        from repro.pipeline.workflow import prepare_dataset
+
+        bundle = prepare_dataset("YNG", scale=SCALE)
+        with active_plan(FaultPlan(seed=CHAOS_SEED).fail("incremental.delta")):
+            with pytest.raises(FaultError):
+                apply_update(bundle, UpdateSpec(add_annotations=1), fallback=False)
+
+    def test_serve_update_fault_degrades_to_rebuild(self):
+        from repro.serve import ReproServer, ServeClient
+
+        with ReproServer(default_scale=SCALE, workers=1) as srv:
+            with ServeClient(port=srv.port, timeout=600.0) as c:
+                c.result("ping")
+                clean = None
+                with ReproServer(default_scale=SCALE, workers=1) as twin:
+                    with ServeClient(port=twin.port, timeout=600.0) as tc:
+                        tc.result("update", dataset="YNG", add_genes=2, seed=3)
+                        clean = tc.result("classify", dataset="YNG", method="chordal")
+                with active_plan(
+                    FaultPlan(seed=CHAOS_SEED).fail("serve.update")
+                ) as plan:
+                    up = c.result("update", dataset="YNG", add_genes=2, seed=3)
+                assert plan.fired("serve.update")
+                assert up["mode"] == "rebuild"
+                # the fallback rebuild reaches the same logical state the
+                # unfaulted delta path produces on the twin server
+                assert c.result("classify", dataset="YNG", method="chordal") == clean
+                assert c.result("datasets")[0]["health"] == "healthy"

@@ -158,3 +158,60 @@ class TestDistances:
         assert path[0] == "G"
         assert path[-1] == dag.root_id
         assert len(path) == 4
+
+
+class TestScopedInvalidation:
+    """add_parent / append_leaf_terms invalidate by scope, not wholesale."""
+
+    def _reference_ancestors(self, dag, term_id):
+        seen = {term_id}
+        frontier = [term_id]
+        while frontier:
+            nxt = []
+            for t in frontier:
+                for p in dag.parents(t):
+                    if p not in seen:
+                        seen.add(p)
+                        nxt.append(p)
+            frontier = nxt
+        return frozenset(seen)
+
+    def test_add_parent_scopes_ancestor_invalidation_to_subtree(self):
+        dag = make_dag()
+        for term in list(dag._terms):
+            dag.ancestors(term)  # warm every cache entry
+        cached_before = dict(dag._ancestor_cache)
+        dag.add_parent("M", "O")  # M (and G below it) gain O as ancestor
+        subtree = dag.subtree("M")
+        for term in list(dag._terms):
+            if term in subtree:
+                assert term not in dag._ancestor_cache
+            else:
+                # untouched entries survive as the same objects
+                assert dag._ancestor_cache[term] is cached_before[term]
+        # and every recomputed/retained answer matches a direct traversal
+        for term in list(dag._terms):
+            assert dag.ancestors(term) == self._reference_ancestors(dag, term)
+        assert "O" in dag.ancestors("G")
+
+    def test_add_parent_after_leaf_append_stays_correct(self):
+        dag = make_dag()
+        for term in list(dag._terms):
+            dag.ancestors(term)
+        dag.append_leaf_terms([("L1", ["G"]), ("L2", ["L1", "S"])])
+        dag.add_parent("L1", "T")
+        for term in list(dag._terms):
+            assert dag.ancestors(term) == self._reference_ancestors(dag, term)
+
+    def test_append_leaf_terms_extends_index_bit_identically(self):
+        import itertools
+
+        dag = make_dag()
+        dag.term_distance("G", "T")  # warm SSSP rows + the interned term index
+        delta = dag.append_leaf_terms([("L1", ["G"]), ("L2", ["S"])])
+        assert delta.distances_safe
+        rebuilt = make_dag()
+        rebuilt.add_term("L1", ["G"])
+        rebuilt.add_term("L2", ["S"])
+        for a, b in itertools.combinations(sorted(dag._terms), 2):
+            assert dag.term_distance(a, b) == rebuilt.term_distance(a, b), (a, b)
